@@ -1,0 +1,77 @@
+// Command pinum-bench regenerates the paper's evaluation: every table and
+// figure of §IV/§VI, printed in the same shape the paper reports.
+//
+//	pinum-bench            # run everything
+//	pinum-bench -e e3      # run one experiment (e1..e5)
+//	pinum-bench -quick     # reduced trial counts for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pinumdb/pinum/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("e", "all", "experiment to run: e1, e2, e3, e4, e5, or all")
+	quick := flag.Bool("quick", false, "reduced trial counts")
+	seed := flag.Int64("seed", 42, "workload generation seed")
+	scale := flag.Float64("exec-scale", 0.0005, "materialisation scale for the execution experiment (1.0 = the paper's 10 GB)")
+	flag.Parse()
+
+	env, err := experiments.NewEnv(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	want := strings.ToLower(*exp)
+	run := func(id string) bool { return want == "all" || want == id }
+
+	trialsE1, cfgsE2 := 50, 1000
+	if *quick {
+		trialsE1, cfgsE2 = 20, 100
+	}
+
+	if run("e1") {
+		r, err := experiments.RunE1(env, trialsE1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("e2") {
+		r, err := experiments.RunE2(env, cfgsE2, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("e3") {
+		r, err := experiments.RunE3(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("e4") {
+		r, err := experiments.RunE4(env, *scale, 5)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("e5") {
+		r, err := experiments.RunE5(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pinum-bench:", err)
+	os.Exit(1)
+}

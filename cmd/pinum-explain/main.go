@@ -1,0 +1,84 @@
+// Command pinum-explain optimizes one query over the built-in star schema
+// and prints its plan, optionally under a what-if index configuration.
+//
+//	pinum-explain -q "SELECT fact.m1 FROM fact, dim1_1 WHERE fact.fk_dim1_1 = dim1_1.id ORDER BY dim1_1.a1"
+//	pinum-explain -q "..." -ix "fact:fk_dim1_1,m1" -ix "dim1_1:a1,id"
+//	pinum-explain -list       # print the generated 10-query workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pinumdb/pinum"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/workload"
+)
+
+type indexFlags []string
+
+func (f *indexFlags) String() string { return strings.Join(*f, "; ") }
+
+func (f *indexFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var ixs indexFlags
+	q := flag.String("q", "", "SQL query over the star schema")
+	list := flag.Bool("list", false, "print the generated workload queries")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Var(&ixs, "ix", "what-if index, table:col1,col2,... (repeatable)")
+	flag.Parse()
+
+	star, err := workload.StarSchema(1.0)
+	if err != nil {
+		fatal(err)
+	}
+	db := pinum.NewDatabaseWith(star.Catalog, star.Stats)
+
+	if *list {
+		qs, err := star.Queries(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, qq := range qs {
+			fmt.Printf("%s: %s\n\n", qq.Name, qq.SQL)
+		}
+		return
+	}
+	if *q == "" {
+		fmt.Fprintln(os.Stderr, "usage: pinum-explain -q <sql> [-ix table:cols]...")
+		os.Exit(2)
+	}
+	bound, err := db.ParseQuery(*q, "query")
+	if err != nil {
+		fatal(err)
+	}
+	ws := db.WhatIf()
+	cfg := &query.Config{}
+	for _, spec := range ixs {
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -ix %q, want table:col1,col2", spec))
+		}
+		ix, err := ws.CreateIndex(parts[0], strings.Split(parts[1], ",")...)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Indexes = append(cfg.Indexes, ix)
+	}
+	cost, explain, err := db.Optimize(bound, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cost: %.2f\n%s", cost, explain)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pinum-explain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+package advisor
+
+import (
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/storage"
+	"github.com/pinumdb/pinum/internal/workload"
+)
+
+func setup(t testing.TB, budgetGB float64, nQueries int) (*workload.Star, *Advisor, []*query.Query) {
+	t.Helper()
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = qs[:nQueries]
+	ad := New(s.Catalog, s.Stats, storage.BytesForGB(budgetGB))
+	for _, q := range qs {
+		if err := ad.AddQuery(q, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, ad, qs
+}
+
+func TestRunRequiresQueries(t *testing.T) {
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := New(s.Catalog, s.Stats, storage.BytesForGB(1))
+	if _, err := ad.Run(); err == nil {
+		t.Error("advisor with no queries ran")
+	}
+}
+
+func TestGreedySelectionRespectsBudget(t *testing.T) {
+	_, ad, _ := setup(t, 3, 5)
+	res, err := ad.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes > ad.BudgetBytes {
+		t.Errorf("used %d bytes of %d budget", res.TotalBytes, ad.BudgetBytes)
+	}
+	var sum int64
+	for _, ix := range res.Chosen {
+		sum += storage.IndexBytes(ix)
+	}
+	if sum != res.TotalBytes {
+		t.Errorf("TotalBytes %d != sum of chosen %d", res.TotalBytes, sum)
+	}
+	if res.FinalCost > res.BaseCost {
+		t.Errorf("final cost %f above base %f", res.FinalCost, res.BaseCost)
+	}
+	if res.Rounds != len(res.Chosen) {
+		t.Errorf("rounds %d != chosen %d", res.Rounds, len(res.Chosen))
+	}
+}
+
+func TestBenefitIsMonotonePerQuery(t *testing.T) {
+	_, ad, qs := setup(t, 5, 6)
+	res, err := ad.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		e := res.PerQuery[q.Name]
+		if e[1] > e[0]*(1+1e-9) {
+			t.Errorf("%s: indexes made the estimate worse: %f -> %f", q.Name, e[0], e[1])
+		}
+	}
+	if res.Speedup() < 0 || res.Speedup() > 1 {
+		t.Errorf("speedup %f outside [0,1]", res.Speedup())
+	}
+}
+
+func TestMaxIndexesCap(t *testing.T) {
+	_, ad, _ := setup(t, 10, 5)
+	ad.MaxIndexes = 2
+	res, err := ad.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chosen) > 2 {
+		t.Errorf("chose %d indexes, cap was 2", len(res.Chosen))
+	}
+}
+
+func TestZeroBudgetChoosesNothing(t *testing.T) {
+	_, ad, _ := setup(t, 0, 3)
+	res, err := ad.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chosen) != 0 {
+		t.Errorf("chose %d indexes with zero budget", len(res.Chosen))
+	}
+	if res.FinalCost != res.BaseCost {
+		t.Error("cost changed without indexes")
+	}
+}
+
+func TestNoOptimizerCallsDuringGreedyLoop(t *testing.T) {
+	_, ad, _ := setup(t, 5, 4)
+	callsAfterCaches := ad.calls
+	res, err := ad.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimizerCalls != callsAfterCaches {
+		t.Errorf("greedy loop made optimizer calls: %d -> %d", callsAfterCaches, res.OptimizerCalls)
+	}
+	// The paper's point: 2 calls per query, regardless of candidates.
+	if callsAfterCaches != 2*4 {
+		t.Errorf("cache construction used %d calls, want 8", callsAfterCaches)
+	}
+}
+
+func TestExternalCandidates(t *testing.T) {
+	s, ad, qs := setup(t, 5, 2)
+	a, err := optimizer.NewAnalysis(qs[0], s.Stats, optimizer.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	ix := storage.HypotheticalIndex("custom", s.Catalog.Table("fact"), []string{"a1", "m1"})
+	ad.AddCandidate(ix)
+	res, err := ad.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CandidateCount != 1 {
+		t.Errorf("candidate count %d, want 1 (only the external one)", res.CandidateCount)
+	}
+}

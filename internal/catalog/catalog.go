@@ -1,0 +1,350 @@
+// Package catalog models the schema metadata a query optimizer consumes:
+// tables, columns, foreign keys, statistics handles, and secondary indexes,
+// both real and hypothetical ("what-if") ones.
+//
+// The catalog is deliberately statistics-oriented. Exactly as in the paper,
+// the optimizer never needs the data itself — only row counts, page counts,
+// column widths and histograms — which is what makes what-if indexes and
+// 10 GB-scale experiments possible on a laptop.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type enumerates the column types the engine supports. The synthetic
+// workloads in the paper use uniformly distributed integer columns; strings
+// and floats are supported so realistic schemas can be declared too.
+type Type int
+
+const (
+	Int Type = iota
+	Float
+	String
+	Date
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "VARCHAR"
+	case Date:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Width returns the in-page storage width in bytes of a value of this type,
+// before alignment padding. Variable-width types report a typical width; the
+// size model works with average widths exactly as PostgreSQL's does.
+func (t Type) Width() int {
+	switch t {
+	case Int:
+		return 8
+	case Float:
+		return 8
+	case String:
+		return 24
+	case Date:
+		return 8
+	default:
+		return 8
+	}
+}
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Type Type
+
+	// AvgWidth is the average stored width in bytes. Zero means "use the
+	// type's default width".
+	AvgWidth int
+
+	// NDV is the number of distinct values. Zero means "unknown"; the
+	// planner then assumes NDV = rows for key-like columns.
+	NDV int64
+
+	// Min and Max bound the value domain for integer-like columns. They
+	// drive range-predicate selectivity when no histogram is attached.
+	Min, Max int64
+
+	NotNull bool
+}
+
+// EffectiveWidth returns AvgWidth if set, otherwise the type default.
+func (c *Column) EffectiveWidth() int {
+	if c.AvgWidth > 0 {
+		return c.AvgWidth
+	}
+	return c.Type.Width()
+}
+
+// ForeignKey declares that Column references RefTable.RefColumn. The
+// workload generator joins tables exclusively along foreign keys, as the
+// paper's synthetic benchmark does.
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// Table is a base relation.
+type Table struct {
+	Name     string
+	Columns  []*Column
+	RowCount int64
+	// Pages is the heap size in pages. Zero means "derive from the size
+	// model" (storage.TablePages).
+	Pages       int64
+	ForeignKeys []ForeignKey
+
+	colIndex map[string]int
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	if t.colIndex == nil {
+		t.buildIndex()
+	}
+	if i, ok := t.colIndex[name]; ok {
+		return t.Columns[i]
+	}
+	return nil
+}
+
+// ColumnOrdinal returns the position of the named column, or -1.
+func (t *Table) ColumnOrdinal(name string) int {
+	if t.colIndex == nil {
+		t.buildIndex()
+	}
+	if i, ok := t.colIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+func (t *Table) buildIndex() {
+	t.colIndex = make(map[string]int, len(t.Columns))
+	for i, c := range t.Columns {
+		t.colIndex[c.Name] = i
+	}
+}
+
+// RowWidth returns the average tuple payload width (sum of column widths,
+// no alignment). The storage package layers alignment and headers on top.
+func (t *Table) RowWidth() int {
+	w := 0
+	for _, c := range t.Columns {
+		w += c.EffectiveWidth()
+	}
+	return w
+}
+
+// Index describes a secondary B-tree index, real or hypothetical.
+//
+// Following the paper's definition 4 (§II), an index covers an interesting
+// order iff the order's column is the index's *first* column.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+
+	// Hypothetical marks a what-if index: it exists only as statistics.
+	Hypothetical bool
+
+	// LeafPages is the estimated (what-if) or measured (real) number of
+	// leaf pages. For hypothetical indexes this is exactly the paper's
+	// §V-A estimate: leaf pages only, internal pages ignored.
+	LeafPages int64
+
+	// InternalPages is non-zero only for real (built) indexes, where the
+	// whole B-tree has been measured. The gap between including and
+	// excluding it is the what-if accuracy experiment (E1).
+	InternalPages int64
+
+	// Height is the B-tree height (root-to-leaf edges); used for index
+	// descent cost.
+	Height int
+}
+
+// TotalPages is the full on-disk footprint used for space budgeting.
+func (ix *Index) TotalPages() int64 { return ix.LeafPages + ix.InternalPages }
+
+// LeadColumn returns the first key column, the one that defines which
+// interesting order the index covers.
+func (ix *Index) LeadColumn() string { return ix.Columns[0] }
+
+// Covers reports whether the index covers the interesting order on col
+// (paper definition 4).
+func (ix *Index) Covers(col string) bool { return len(ix.Columns) > 0 && ix.Columns[0] == col }
+
+// HasColumn reports whether col appears anywhere in the index key.
+func (ix *Index) HasColumn(col string) bool {
+	for _, c := range ix.Columns {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a canonical identity string (table + column list), independent
+// of the index name. Two indexes with equal keys are interchangeable for
+// planning purposes.
+func (ix *Index) Key() string {
+	return ix.Table + "(" + strings.Join(ix.Columns, ",") + ")"
+}
+
+// Catalog is the schema plus its index set. A Catalog is not safe for
+// concurrent mutation; what-if sessions clone the index set instead (see
+// package whatif).
+type Catalog struct {
+	tables     map[string]*Table
+	tableOrder []string
+	indexes    map[string]*Index
+	byTable    map[string][]*Index
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*Index),
+		byTable: make(map[string][]*Index),
+	}
+}
+
+// AddTable registers a table. It returns an error on duplicate names,
+// empty schemas, or duplicate column names.
+func (c *Catalog) AddTable(t *Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table with empty name")
+	}
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("catalog: duplicate table %q", t.Name)
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("catalog: table %q has no columns", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		if col.Name == "" {
+			return fmt.Errorf("catalog: table %q has a column with empty name", t.Name)
+		}
+		if seen[col.Name] {
+			return fmt.Errorf("catalog: table %q: duplicate column %q", t.Name, col.Name)
+		}
+		seen[col.Name] = true
+	}
+	t.buildIndex()
+	c.tables[t.Name] = t
+	c.tableOrder = append(c.tableOrder, t.Name)
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// Tables returns all tables in registration order.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.tableOrder))
+	for _, n := range c.tableOrder {
+		out = append(out, c.tables[n])
+	}
+	return out
+}
+
+// AddIndex registers an index (real or hypothetical). It validates that the
+// table and all key columns exist.
+func (c *Catalog) AddIndex(ix *Index) error {
+	if ix.Name == "" {
+		return fmt.Errorf("catalog: index with empty name")
+	}
+	if _, dup := c.indexes[ix.Name]; dup {
+		return fmt.Errorf("catalog: duplicate index %q", ix.Name)
+	}
+	t := c.tables[ix.Table]
+	if t == nil {
+		return fmt.Errorf("catalog: index %q references unknown table %q", ix.Name, ix.Table)
+	}
+	if len(ix.Columns) == 0 {
+		return fmt.Errorf("catalog: index %q has no key columns", ix.Name)
+	}
+	seen := make(map[string]bool, len(ix.Columns))
+	for _, col := range ix.Columns {
+		if t.Column(col) == nil {
+			return fmt.Errorf("catalog: index %q references unknown column %s.%s", ix.Name, ix.Table, col)
+		}
+		if seen[col] {
+			return fmt.Errorf("catalog: index %q repeats column %q", ix.Name, col)
+		}
+		seen[col] = true
+	}
+	c.indexes[ix.Name] = ix
+	c.byTable[ix.Table] = append(c.byTable[ix.Table], ix)
+	return nil
+}
+
+// DropIndex removes the named index. It reports whether it existed.
+func (c *Catalog) DropIndex(name string) bool {
+	ix, ok := c.indexes[name]
+	if !ok {
+		return false
+	}
+	delete(c.indexes, name)
+	list := c.byTable[ix.Table]
+	for i, other := range list {
+		if other.Name == name {
+			c.byTable[ix.Table] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Index returns the named index, or nil.
+func (c *Catalog) Index(name string) *Index { return c.indexes[name] }
+
+// TableIndexes returns the indexes on a table, sorted by name for
+// determinism.
+func (c *Catalog) TableIndexes(table string) []*Index {
+	list := append([]*Index(nil), c.byTable[table]...)
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
+// AllIndexes returns every index, sorted by name.
+func (c *Catalog) AllIndexes() []*Index {
+	out := make([]*Index, 0, len(c.indexes))
+	for _, ix := range c.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Clone returns a catalog sharing the (immutable) tables but with an
+// independent copy of the index set, so what-if sessions can add and drop
+// hypothetical indexes without disturbing the base catalog.
+func (c *Catalog) Clone() *Catalog {
+	out := New()
+	out.tables = c.tables
+	out.tableOrder = c.tableOrder
+	for n, ix := range c.indexes {
+		out.indexes[n] = ix
+	}
+	for t, list := range c.byTable {
+		out.byTable[t] = append([]*Index(nil), list...)
+	}
+	return out
+}

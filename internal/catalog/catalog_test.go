@@ -1,0 +1,171 @@
+package catalog
+
+import (
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Name:     "t",
+		RowCount: 1000,
+		Columns: []*Column{
+			{Name: "id", Type: Int, NDV: 1000, Min: 1, Max: 1000, NotNull: true},
+			{Name: "a", Type: Int, NDV: 100, Min: 1, Max: 100},
+			{Name: "s", Type: String},
+		},
+		ForeignKeys: []ForeignKey{{Column: "a", RefTable: "u", RefColumn: "id"}},
+	}
+}
+
+func TestAddTableAndLookup(t *testing.T) {
+	c := New()
+	if err := c.AddTable(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	tb := c.Table("t")
+	if tb == nil {
+		t.Fatal("table not found")
+	}
+	if got := tb.Column("a"); got == nil || got.NDV != 100 {
+		t.Errorf("Column(a) = %+v", got)
+	}
+	if tb.Column("zz") != nil {
+		t.Error("unknown column should be nil")
+	}
+	if ord := tb.ColumnOrdinal("s"); ord != 2 {
+		t.Errorf("ColumnOrdinal(s) = %d, want 2", ord)
+	}
+	if ord := tb.ColumnOrdinal("zz"); ord != -1 {
+		t.Errorf("ColumnOrdinal(zz) = %d, want -1", ord)
+	}
+	if c.Table("missing") != nil {
+		t.Error("missing table should be nil")
+	}
+}
+
+func TestAddTableValidation(t *testing.T) {
+	c := New()
+	if err := c.AddTable(&Table{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := c.AddTable(&Table{Name: "x"}); err == nil {
+		t.Error("no columns accepted")
+	}
+	if err := c.AddTable(&Table{Name: "y", Columns: []*Column{{Name: "a"}, {Name: "a"}}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := c.AddTable(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(sampleTable()); err == nil {
+		t.Error("duplicate table accepted")
+	}
+}
+
+func TestRowWidth(t *testing.T) {
+	tb := sampleTable()
+	want := 8 + 8 + 24 // int + int + string default widths
+	if got := tb.RowWidth(); got != want {
+		t.Errorf("RowWidth = %d, want %d", got, want)
+	}
+	tb.Columns[0].AvgWidth = 4
+	if got := tb.RowWidth(); got != want-4 {
+		t.Errorf("RowWidth with AvgWidth = %d, want %d", got, want-4)
+	}
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	c := New()
+	if err := c.AddTable(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	ix := &Index{Name: "t_a", Table: "t", Columns: []string{"a", "id"}}
+	if err := c.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Index("t_a"); got != ix {
+		t.Error("Index lookup failed")
+	}
+	if list := c.TableIndexes("t"); len(list) != 1 {
+		t.Errorf("TableIndexes = %d entries", len(list))
+	}
+	if !ix.Covers("a") || ix.Covers("id") {
+		t.Error("Covers should be lead-column only")
+	}
+	if !ix.HasColumn("id") || ix.HasColumn("s") {
+		t.Error("HasColumn wrong")
+	}
+	if ix.Key() != "t(a,id)" {
+		t.Errorf("Key = %q", ix.Key())
+	}
+	if !c.DropIndex("t_a") {
+		t.Error("DropIndex returned false")
+	}
+	if c.DropIndex("t_a") {
+		t.Error("double drop returned true")
+	}
+	if len(c.TableIndexes("t")) != 0 {
+		t.Error("index still listed after drop")
+	}
+}
+
+func TestAddIndexValidation(t *testing.T) {
+	c := New()
+	if err := c.AddTable(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Index{
+		{Name: "", Table: "t", Columns: []string{"a"}},
+		{Name: "i1", Table: "nope", Columns: []string{"a"}},
+		{Name: "i2", Table: "t", Columns: nil},
+		{Name: "i3", Table: "t", Columns: []string{"zz"}},
+		{Name: "i4", Table: "t", Columns: []string{"a", "a"}},
+	}
+	for _, ix := range cases {
+		if err := c.AddIndex(ix); err == nil {
+			t.Errorf("index %+v accepted", ix)
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	c := New()
+	if err := c.AddTable(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&Index{Name: "base", Table: "t", Columns: []string{"id"}}); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Clone()
+	if err := cl.AddIndex(&Index{Name: "extra", Table: "t", Columns: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Index("extra") != nil {
+		t.Error("clone index leaked into base catalog")
+	}
+	if cl.Index("base") == nil {
+		t.Error("clone lost base index")
+	}
+	cl.DropIndex("base")
+	if c.Index("base") == nil {
+		t.Error("dropping in clone affected base")
+	}
+	if len(cl.AllIndexes()) != 1 {
+		t.Errorf("clone has %d indexes, want 1", len(cl.AllIndexes()))
+	}
+}
+
+func TestTypeStringsAndWidths(t *testing.T) {
+	for _, ty := range []Type{Int, Float, String, Date} {
+		if ty.String() == "" || ty.Width() <= 0 {
+			t.Errorf("type %d: bad String/Width", ty)
+		}
+	}
+	if (&Index{Name: "x", Table: "t", Columns: []string{"a"}}).TotalPages() != 0 {
+		t.Error("TotalPages of empty index not 0")
+	}
+	ix := &Index{LeafPages: 10, InternalPages: 2}
+	if ix.TotalPages() != 12 {
+		t.Error("TotalPages wrong")
+	}
+}

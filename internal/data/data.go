@@ -1,0 +1,155 @@
+// Package data materialises a catalog into a physical database: heap files
+// filled with deterministic uniform data (the paper's synthetic generator:
+// numeric columns "uniformly distributed", foreign keys valid against their
+// referenced tables) and real B-tree indexes built over them.
+//
+// The execution experiments run on a scaled-down materialisation; the
+// statistics-level experiments never need one.
+package data
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"github.com/pinumdb/pinum/internal/btree"
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/heap"
+)
+
+// Database is a materialised catalog: one heap file per table plus any
+// built indexes.
+type Database struct {
+	Cat     *catalog.Catalog
+	Tables  map[string]*heap.File
+	Indexes map[string]*btree.Tree
+	seed    int64
+}
+
+// Materialize fills every table of the catalog with deterministic uniform
+// data. Primary-key columns named "id" hold 1..N; foreign-key columns hold
+// uniform values valid against the referenced table; other columns are
+// uniform over [Min, Max].
+func Materialize(cat *catalog.Catalog, seed int64) (*Database, error) {
+	db := &Database{
+		Cat:     cat,
+		Tables:  make(map[string]*heap.File),
+		Indexes: make(map[string]*btree.Tree),
+		seed:    seed,
+	}
+	for _, t := range cat.Tables() {
+		f, err := db.materializeTable(t)
+		if err != nil {
+			return nil, err
+		}
+		db.Tables[t.Name] = f
+	}
+	return db, nil
+}
+
+func (db *Database) materializeTable(t *catalog.Table) (*heap.File, error) {
+	rng := rand.New(rand.NewSource(db.seed ^ int64(hashName(t.Name))))
+	fkRef := make(map[int]int64) // column ordinal → referenced row count
+	for _, fk := range t.ForeignKeys {
+		ref := db.Cat.Table(fk.RefTable)
+		if ref == nil {
+			return nil, fmt.Errorf("data: %s references unknown table %s", t.Name, fk.RefTable)
+		}
+		fkRef[t.ColumnOrdinal(fk.Column)] = ref.RowCount
+	}
+	f := heap.NewFile(t.Name, len(t.Columns))
+	row := make([]int64, len(t.Columns))
+	for r := int64(1); r <= t.RowCount; r++ {
+		for ci, col := range t.Columns {
+			switch {
+			case col.Name == "id":
+				row[ci] = r
+			case fkRef[ci] > 0:
+				row[ci] = 1 + rng.Int63n(fkRef[ci])
+			default:
+				lo, hi := col.Min, col.Max
+				if hi <= lo {
+					lo, hi = 1, max64(1, col.NDV)
+				}
+				row[ci] = lo + rng.Int63n(hi-lo+1)
+			}
+		}
+		if _, err := f.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// BuildIndex constructs a real B-tree over the heap data for the given
+// index descriptor and records its measured shape (leaf/internal node
+// counts, height) — the ground truth the what-if estimate approximates.
+// Trees are cached by the index's canonical key (table + column list), so
+// interchangeable descriptors share one tree regardless of name.
+func (db *Database) BuildIndex(ix *catalog.Index) (*btree.Tree, error) {
+	if t, ok := db.Indexes[ix.Key()]; ok {
+		return t, nil
+	}
+	tab := db.Cat.Table(ix.Table)
+	f := db.Tables[ix.Table]
+	if tab == nil || f == nil {
+		return nil, fmt.Errorf("data: index %s on unknown or unmaterialised table %s", ix.Name, ix.Table)
+	}
+	ords := make([]int, len(ix.Columns))
+	for i, col := range ix.Columns {
+		o := tab.ColumnOrdinal(col)
+		if o < 0 {
+			return nil, fmt.Errorf("data: index %s references unknown column %s.%s", ix.Name, ix.Table, col)
+		}
+		ords[i] = o
+	}
+	entries := make([]btree.Entry, 0, f.Count())
+	f.Scan(func(tid heap.TID, row []int64) bool {
+		key := make([]int64, len(ords))
+		for i, o := range ords {
+			key[i] = row[o]
+		}
+		entries = append(entries, btree.Entry{Key: key, TID: tid})
+		return true
+	})
+	tree := btree.Bulk(ix.Key(), btree.DefaultFanout, entries)
+	db.Indexes[ix.Key()] = tree
+	return tree, nil
+}
+
+// IndexFor returns a built B-tree matching the descriptor's key (table +
+// columns), building it on demand.
+func (db *Database) IndexFor(ix *catalog.Index) (*btree.Tree, error) {
+	return db.BuildIndex(ix)
+}
+
+// TotalBytes reports the heap footprint of the database.
+func (db *Database) TotalBytes() int64 {
+	var b int64
+	for _, f := range db.Tables {
+		b += f.Bytes()
+	}
+	return b
+}
+
+// String summarises the database.
+func (db *Database) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "database(%d tables, %d indexes, %.1f MB)",
+		len(db.Tables), len(db.Indexes), float64(db.TotalBytes())/1e6)
+	return sb.String()
+}
+
+func hashName(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,192 @@
+package executor
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/heap"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/storage"
+)
+
+// TestAggregationMatchesBruteForce checks grouping correctness against a
+// direct computation of the distinct group-key set from the base data.
+func TestAggregationMatchesBruteForce(t *testing.T) {
+	s, db := tinyDB(t)
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if len(q.GroupBy) == 0 {
+			continue
+		}
+		a, err := optimizer.NewAnalysis(q, s.Stats, optimizer.DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := optimizer.Optimize(a, nil, optimizer.Options{EnableNestLoop: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := New(db, q)
+		rs, err := ex.Run(res.Best)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+
+		// Brute force: execute the same query without the aggregation
+		// node and count distinct group keys.
+		noAgg := res.Best
+		for noAgg.Op == optimizer.OpSort {
+			noAgg = noAgg.Child
+		}
+		if noAgg.Op != optimizer.OpHashAgg && noAgg.Op != optimizer.OpSortedAgg {
+			t.Fatalf("%s: expected aggregation at plan root, got %s", q.Name, noAgg.Op)
+		}
+		ex2 := New(db, q)
+		raw, err := ex2.Run(noAgg.Child)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := make([]int, len(q.GroupBy))
+		for i, g := range q.GroupBy {
+			pp, err := ex2.colPos(noAgg.Child.Rels, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos[i] = pp
+		}
+		distinct := make(map[string]bool)
+		for _, r := range raw.Rows {
+			key := ""
+			for _, pp := range pos {
+				key += "," + itoa(r[pp])
+			}
+			distinct[key] = true
+		}
+		if len(rs.Rows) != len(distinct) {
+			t.Errorf("%s: aggregation produced %d groups, brute force %d",
+				q.Name, len(rs.Rows), len(distinct))
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// TestFilterOperatorsExecute pins every comparison operator against a
+// brute-force scan.
+func TestFilterOperatorsExecute(t *testing.T) {
+	s, db := tinyDB(t)
+	fact := s.Catalog.Table("fact")
+	f := db.Tables["fact"]
+	ord := fact.ColumnOrdinal("a1")
+	ops := []struct {
+		op     query.CmpOp
+		v, v2  int64
+		accept func(int64) bool
+	}{
+		{query.Eq, 500, 0, func(x int64) bool { return x == 500 }},
+		{query.Lt, 5000, 0, func(x int64) bool { return x < 5000 }},
+		{query.Le, 5000, 0, func(x int64) bool { return x <= 5000 }},
+		{query.Gt, 90000, 0, func(x int64) bool { return x > 90000 }},
+		{query.Ge, 90000, 0, func(x int64) bool { return x >= 90000 }},
+		{query.Between, 100, 2000, func(x int64) bool { return x >= 100 && x <= 2000 }},
+	}
+	for _, c := range ops {
+		q := &query.Query{
+			Name:    "f" + c.op.String(),
+			Rels:    []query.Rel{{Table: fact}},
+			Filters: []query.Filter{{Col: query.ColRef{Rel: 0, Column: "a1"}, Op: c.op, Value: c.v, Value2: c.v2}},
+			Select:  []query.ColRef{{Rel: 0, Column: "a1"}},
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		ex := New(db, q)
+		rows, err := ex.exec(&optimizer.Path{Op: optimizer.OpSeqScan, Rels: optimizer.Single(0), BaseRel: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		f.Scan(func(_ heap.TID, row []int64) bool {
+			if c.accept(row[ord]) {
+				want++
+			}
+			return true
+		})
+		if len(rows) != want {
+			t.Errorf("op %s: got %d rows, want %d", c.op, len(rows), want)
+		}
+	}
+}
+
+// TestIndexScanRangeEqualsSeqScanFilter compares an index range scan
+// against a filtered sequential scan on every bound type.
+func TestIndexScanRangeEqualsSeqScanFilter(t *testing.T) {
+	s, db := tinyDB(t)
+	fact := s.Catalog.Table("fact")
+	for _, op := range []query.CmpOp{query.Eq, query.Lt, query.Gt, query.Between} {
+		q := &query.Query{
+			Name:    "rng",
+			Rels:    []query.Rel{{Table: fact}},
+			Filters: []query.Filter{{Col: query.ColRef{Rel: 0, Column: "a2"}, Op: op, Value: 40000, Value2: 60000}},
+			Select:  []query.ColRef{{Rel: 0, Column: "a2"}, {Rel: 0, Column: "m1"}},
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		ix := storage.HypotheticalIndex("rng_ix_"+op.String(), fact, []string{"a2", "m1"})
+		ex := New(db, q)
+		seq, err := ex.exec(&optimizer.Path{Op: optimizer.OpSeqScan, Rels: optimizer.Single(0), BaseRel: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ixRows, err := ex.exec(&optimizer.Path{Op: optimizer.OpIndexScan, Rels: optimizer.Single(0), BaseRel: 0, Index: ix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(ixRows) {
+			t.Errorf("op %s: seq %d rows, index %d rows", op, len(seq), len(ixRows))
+		}
+		proj := func(rows [][]int64) [][]int64 {
+			out := make([][]int64, len(rows))
+			a2 := fact.ColumnOrdinal("a2")
+			m1 := fact.ColumnOrdinal("m1")
+			for i, r := range rows {
+				out[i] = []int64{r[a2], r[m1]}
+			}
+			sort.Slice(out, func(i, j int) bool {
+				if out[i][0] != out[j][0] {
+					return out[i][0] < out[j][0]
+				}
+				return out[i][1] < out[j][1]
+			})
+			return out
+		}
+		if err := equalRows(proj(seq), proj(ixRows)); err != nil {
+			t.Errorf("op %s: %v", op, err)
+		}
+	}
+}

@@ -1,0 +1,609 @@
+// Package executor runs optimizer plan trees against a materialised
+// database: sequential and index scans, sorts, hash/merge/nested-loop
+// joins, and grouping. It exists so the index-selection experiment can
+// measure *actual* query executions with and without the advisor's indexes
+// (paper Fig. 7), and so tests can check that every join method computes
+// the same result.
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pinumdb/pinum/internal/btree"
+	"github.com/pinumdb/pinum/internal/data"
+	"github.com/pinumdb/pinum/internal/heap"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+)
+
+// Executor evaluates plans for one query against one database.
+type Executor struct {
+	DB *data.Database
+	Q  *query.Query
+
+	// Stats accumulates over Run calls.
+	Stats Stats
+}
+
+// Stats counts executor work.
+type Stats struct {
+	RowsScanned int64
+	IndexProbes int64
+	RowsEmitted int64
+}
+
+// ResultSet is a materialised query result with its row layout.
+type ResultSet struct {
+	Rows [][]int64
+	// layout maps relation index → offset of that relation's first column
+	// in each row.
+	layout map[int]int
+	q      *query.Query
+}
+
+// New returns an executor for q over db.
+func New(db *data.Database, q *query.Query) *Executor {
+	return &Executor{DB: db, Q: q}
+}
+
+// Run executes the plan tree and returns the result set.
+func (e *Executor) Run(p *optimizer.Path) (*ResultSet, error) {
+	rows, err := e.exec(p)
+	if err != nil {
+		return nil, err
+	}
+	e.Stats.RowsEmitted += int64(len(rows))
+	return &ResultSet{Rows: rows, layout: e.layout(p.Rels), q: e.Q}, nil
+}
+
+// layout assigns each relation of the set a column offset, ascending by
+// relation index; every operator materialises rows in this canonical
+// layout so sibling subplans compose regardless of join order.
+func (e *Executor) layout(set optimizer.RelSet) map[int]int {
+	off := 0
+	m := make(map[int]int)
+	for _, rel := range set.Members() {
+		m[rel] = off
+		off += len(e.Q.Rels[rel].Table.Columns)
+	}
+	return m
+}
+
+func (e *Executor) width(set optimizer.RelSet) int {
+	w := 0
+	for _, rel := range set.Members() {
+		w += len(e.Q.Rels[rel].Table.Columns)
+	}
+	return w
+}
+
+// colPos returns the column's offset within rows of the given set layout.
+func (e *Executor) colPos(set optimizer.RelSet, c query.ColRef) (int, error) {
+	if !set.Has(c.Rel) {
+		return 0, fmt.Errorf("executor: column %s not available in relation set", c)
+	}
+	ord := e.Q.Rels[c.Rel].Table.ColumnOrdinal(c.Column)
+	if ord < 0 {
+		return 0, fmt.Errorf("executor: unknown column %s", c)
+	}
+	return e.layout(set)[c.Rel] + ord, nil
+}
+
+func (e *Executor) exec(p *optimizer.Path) ([][]int64, error) {
+	switch p.Op {
+	case optimizer.OpSeqScan:
+		return e.seqScan(p)
+	case optimizer.OpIndexScan, optimizer.OpIndexOnlyScan:
+		return e.indexScan(p)
+	case optimizer.OpSort:
+		return e.sortNode(p)
+	case optimizer.OpHashJoin:
+		return e.hashJoin(p)
+	case optimizer.OpMergeJoin:
+		return e.mergeJoin(p)
+	case optimizer.OpNestLoop:
+		return e.nestLoop(p)
+	case optimizer.OpNestLoopMat:
+		return e.nestLoopMat(p)
+	case optimizer.OpHashAgg, optimizer.OpSortedAgg:
+		return e.aggregate(p)
+	default:
+		return nil, fmt.Errorf("executor: unsupported operator %s", p.Op)
+	}
+}
+
+// filtersFor returns the query's filters on one relation.
+func (e *Executor) filtersFor(rel int) []query.Filter {
+	var out []query.Filter
+	for _, f := range e.Q.Filters {
+		if f.Col.Rel == rel {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func passes(v int64, f query.Filter) bool {
+	switch f.Op {
+	case query.Eq:
+		return v == f.Value
+	case query.Lt:
+		return v < f.Value
+	case query.Le:
+		return v <= f.Value
+	case query.Gt:
+		return v > f.Value
+	case query.Ge:
+		return v >= f.Value
+	case query.Between:
+		return v >= f.Value && v <= f.Value2
+	default:
+		return false
+	}
+}
+
+func (e *Executor) seqScan(p *optimizer.Path) ([][]int64, error) {
+	rel := p.BaseRel
+	t := e.Q.Rels[rel].Table
+	f := e.DB.Tables[t.Name]
+	if f == nil {
+		return nil, fmt.Errorf("executor: table %s not materialised", t.Name)
+	}
+	filters := e.filtersFor(rel)
+	ords := make([]int, len(filters))
+	for i, fl := range filters {
+		ords[i] = t.ColumnOrdinal(fl.Col.Column)
+	}
+	var out [][]int64
+	f.Scan(func(_ heap.TID, row []int64) bool {
+		e.Stats.RowsScanned++
+		for i, fl := range filters {
+			if !passes(row[ords[i]], fl) {
+				return true
+			}
+		}
+		out = append(out, append([]int64(nil), row...))
+		return true
+	})
+	return out, nil
+}
+
+// indexScan executes an ordered or plain index scan: range bounds come from
+// the query's filters on the index's leading column; remaining filters are
+// applied after the heap fetch. Index-only scans materialise only the
+// indexed columns (everything the query needs from the relation).
+func (e *Executor) indexScan(p *optimizer.Path) ([][]int64, error) {
+	rel := p.BaseRel
+	t := e.Q.Rels[rel].Table
+	hf := e.DB.Tables[t.Name]
+	if hf == nil {
+		return nil, fmt.Errorf("executor: table %s not materialised", t.Name)
+	}
+	if p.Index == nil {
+		return nil, fmt.Errorf("executor: index scan on %s without an index", t.Name)
+	}
+	tree, err := e.DB.IndexFor(p.Index)
+	if err != nil {
+		return nil, err
+	}
+	lead := p.Index.LeadColumn()
+	var lo, hi []int64
+	filters := e.filtersFor(rel)
+	rest := filters[:0:0]
+	for _, fl := range filters {
+		if fl.Col.Column == lead {
+			l, h, exact := filterBounds(fl)
+			if exact {
+				lo, hi = []int64{l}, []int64{h}
+				continue
+			}
+		}
+		rest = append(rest, fl)
+	}
+	ords := make([]int, len(rest))
+	for i, fl := range rest {
+		ords[i] = t.ColumnOrdinal(fl.Col.Column)
+	}
+
+	indexOnly := p.Op == optimizer.OpIndexOnlyScan
+	keyOrds := make([]int, len(p.Index.Columns))
+	for i, col := range p.Index.Columns {
+		keyOrds[i] = t.ColumnOrdinal(col)
+	}
+
+	var out [][]int64
+	buf := make([]int64, len(t.Columns))
+	tree.Scan(lo, hi, func(en btree.Entry) bool {
+		e.Stats.IndexProbes++
+		row := make([]int64, len(t.Columns))
+		if indexOnly {
+			for i, o := range keyOrds {
+				row[o] = en.Key[i]
+			}
+		} else {
+			got, err := hf.Get(en.TID, buf)
+			if err != nil {
+				return false
+			}
+			copy(row, got)
+		}
+		for i, fl := range rest {
+			if !passes(row[ords[i]], fl) {
+				return true
+			}
+		}
+		out = append(out, row)
+		return true
+	})
+	return out, nil
+}
+
+// filterBounds converts a filter on the index lead column into inclusive
+// key bounds. exact=false means the filter cannot be expressed as a range
+// (never happens with the supported operators).
+func filterBounds(f query.Filter) (lo, hi int64, exact bool) {
+	const minK, maxK = int64(-1 << 62), int64(1<<62 - 1)
+	switch f.Op {
+	case query.Eq:
+		return f.Value, f.Value, true
+	case query.Lt:
+		return minK, f.Value - 1, true
+	case query.Le:
+		return minK, f.Value, true
+	case query.Gt:
+		return f.Value + 1, maxK, true
+	case query.Ge:
+		return f.Value, maxK, true
+	case query.Between:
+		return f.Value, f.Value2, true
+	default:
+		return 0, 0, false
+	}
+}
+
+func (e *Executor) sortNode(p *optimizer.Path) ([][]int64, error) {
+	rows, err := e.exec(p.Child)
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, len(p.SortKeys))
+	for i, k := range p.SortKeys {
+		pp, err := e.colPos(p.Rels, k)
+		if err != nil {
+			return nil, err
+		}
+		pos[i] = pp
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, pp := range pos {
+			if rows[i][pp] != rows[j][pp] {
+				return rows[i][pp] < rows[j][pp]
+			}
+		}
+		return false
+	})
+	return rows, nil
+}
+
+// crossingClauses lists the query's join clauses with one side in each set,
+// oriented as (outer column, inner column).
+func (e *Executor) crossingClauses(outer, inner optimizer.RelSet) [][2]query.ColRef {
+	var out [][2]query.ColRef
+	for _, j := range e.Q.Joins {
+		switch {
+		case outer.Has(j.Left.Rel) && inner.Has(j.Right.Rel):
+			out = append(out, [2]query.ColRef{j.Left, j.Right})
+		case outer.Has(j.Right.Rel) && inner.Has(j.Left.Rel):
+			out = append(out, [2]query.ColRef{j.Right, j.Left})
+		}
+	}
+	return out
+}
+
+// combine merges an outer row and inner row into the canonical layout of
+// the joined set.
+func (e *Executor) combine(joined optimizer.RelSet, outerSet optimizer.RelSet, outerRow []int64, innerSet optimizer.RelSet, innerRow []int64) []int64 {
+	out := make([]int64, e.width(joined))
+	dst := e.layout(joined)
+	oSrc := e.layout(outerSet)
+	for rel, off := range oSrc {
+		n := len(e.Q.Rels[rel].Table.Columns)
+		copy(out[dst[rel]:dst[rel]+n], outerRow[off:off+n])
+	}
+	iSrc := e.layout(innerSet)
+	for rel, off := range iSrc {
+		n := len(e.Q.Rels[rel].Table.Columns)
+		copy(out[dst[rel]:dst[rel]+n], innerRow[off:off+n])
+	}
+	return out
+}
+
+func (e *Executor) hashJoin(p *optimizer.Path) ([][]int64, error) {
+	outerRows, err := e.exec(p.Outer)
+	if err != nil {
+		return nil, err
+	}
+	innerRows, err := e.exec(p.Inner)
+	if err != nil {
+		return nil, err
+	}
+	clauses := e.crossingClauses(p.Outer.Rels, p.Inner.Rels)
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("executor: hash join without clauses")
+	}
+	oPos := make([]int, len(clauses))
+	iPos := make([]int, len(clauses))
+	for k, cl := range clauses {
+		if oPos[k], err = e.colPos(p.Outer.Rels, cl[0]); err != nil {
+			return nil, err
+		}
+		if iPos[k], err = e.colPos(p.Inner.Rels, cl[1]); err != nil {
+			return nil, err
+		}
+	}
+	table := make(map[string][][]int64, len(innerRows))
+	keyOf := func(row []int64, pos []int) string {
+		b := make([]byte, 0, len(pos)*9)
+		for _, pp := range pos {
+			v := row[pp]
+			for s := 0; s < 64; s += 8 {
+				b = append(b, byte(v>>uint(s)))
+			}
+			b = append(b, ':')
+		}
+		return string(b)
+	}
+	for _, ir := range innerRows {
+		k := keyOf(ir, iPos)
+		table[k] = append(table[k], ir)
+	}
+	var out [][]int64
+	for _, or := range outerRows {
+		for _, ir := range table[keyOf(or, oPos)] {
+			out = append(out, e.combine(p.Rels, p.Outer.Rels, or, p.Inner.Rels, ir))
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) mergeJoin(p *optimizer.Path) ([][]int64, error) {
+	outerRows, err := e.exec(p.Outer)
+	if err != nil {
+		return nil, err
+	}
+	innerRows, err := e.exec(p.Inner)
+	if err != nil {
+		return nil, err
+	}
+	j := p.JoinClause
+	oc, ic := j.Left, j.Right
+	if !p.Outer.Rels.Has(oc.Rel) {
+		oc, ic = ic, oc
+	}
+	oPos, err := e.colPos(p.Outer.Rels, oc)
+	if err != nil {
+		return nil, err
+	}
+	iPos, err := e.colPos(p.Inner.Rels, ic)
+	if err != nil {
+		return nil, err
+	}
+	// The inputs arrive sorted on the merge columns by construction; sort
+	// defensively anyway to keep the executor robust to any plan shape.
+	ensureSorted(outerRows, oPos)
+	ensureSorted(innerRows, iPos)
+
+	residual := e.residualClauses(p)
+
+	var out [][]int64
+	i := 0
+	for o := 0; o < len(outerRows); {
+		ov := outerRows[o][oPos]
+		for i < len(innerRows) && innerRows[i][iPos] < ov {
+			i++
+		}
+		j := i
+		for j < len(innerRows) && innerRows[j][iPos] == ov {
+			j++
+		}
+		for oo := o; oo < len(outerRows) && outerRows[oo][oPos] == ov; oo++ {
+			for ii := i; ii < j; ii++ {
+				row := e.combine(p.Rels, p.Outer.Rels, outerRows[oo], p.Inner.Rels, innerRows[ii])
+				if e.passesResidual(row, p.Rels, residual) {
+					out = append(out, row)
+				}
+			}
+		}
+		for o < len(outerRows) && outerRows[o][oPos] == ov {
+			o++
+		}
+	}
+	return out, nil
+}
+
+// residualClauses returns the crossing clauses other than the plan's
+// driving clause (applied as filters after pairing).
+func (e *Executor) residualClauses(p *optimizer.Path) [][2]query.ColRef {
+	var out [][2]query.ColRef
+	for _, cl := range e.crossingClauses(p.Outer.Rels, p.Inner.Rels) {
+		if (cl[0] == p.JoinClause.Left && cl[1] == p.JoinClause.Right) ||
+			(cl[0] == p.JoinClause.Right && cl[1] == p.JoinClause.Left) {
+			continue
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+func (e *Executor) passesResidual(row []int64, set optimizer.RelSet, clauses [][2]query.ColRef) bool {
+	for _, cl := range clauses {
+		a, err1 := e.colPos(set, cl[0])
+		b, err2 := e.colPos(set, cl[1])
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if row[a] != row[b] {
+			return false
+		}
+	}
+	return true
+}
+
+func ensureSorted(rows [][]int64, pos int) {
+	if sort.SliceIsSorted(rows, func(i, j int) bool { return rows[i][pos] < rows[j][pos] }) {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i][pos] < rows[j][pos] })
+}
+
+// nestLoop executes an indexed nested loop: probe the inner relation's
+// index once per outer row.
+func (e *Executor) nestLoop(p *optimizer.Path) ([][]int64, error) {
+	outerRows, err := e.exec(p.Outer)
+	if err != nil {
+		return nil, err
+	}
+	innerRel := p.Inner.BaseRel
+	t := e.Q.Rels[innerRel].Table
+	hf := e.DB.Tables[t.Name]
+	if hf == nil {
+		return nil, fmt.Errorf("executor: table %s not materialised", t.Name)
+	}
+	tree, err := e.DB.IndexFor(p.Inner.Index)
+	if err != nil {
+		return nil, err
+	}
+	j := p.JoinClause
+	oc, ic := j.Left, j.Right
+	if !p.Outer.Rels.Has(oc.Rel) {
+		oc, ic = ic, oc
+	}
+	if ic.Column != p.Inner.Index.LeadColumn() {
+		return nil, fmt.Errorf("executor: nested-loop index %s does not lead on join column %s",
+			p.Inner.Index.Name, ic.Column)
+	}
+	oPos, err := e.colPos(p.Outer.Rels, oc)
+	if err != nil {
+		return nil, err
+	}
+	filters := e.filtersFor(innerRel)
+	ords := make([]int, len(filters))
+	for i, fl := range filters {
+		ords[i] = t.ColumnOrdinal(fl.Col.Column)
+	}
+	residual := e.residualClauses(p)
+
+	var out [][]int64
+	buf := make([]int64, len(t.Columns))
+	for _, or := range outerRows {
+		v := or[oPos]
+		tree.Probe([]int64{v}, func(en btree.Entry) bool {
+			e.Stats.IndexProbes++
+			got, err := hf.Get(en.TID, buf)
+			if err != nil {
+				return false
+			}
+			for i, fl := range filters {
+				if !passes(got[ords[i]], fl) {
+					return true
+				}
+			}
+			row := e.combine(p.Rels, p.Outer.Rels, or, p.Inner.Rels, got)
+			if e.passesResidual(row, p.Rels, residual) {
+				out = append(out, row)
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// nestLoopMat executes a nested loop over a materialised inner.
+func (e *Executor) nestLoopMat(p *optimizer.Path) ([][]int64, error) {
+	outerRows, err := e.exec(p.Outer)
+	if err != nil {
+		return nil, err
+	}
+	innerRows, err := e.exec(p.Inner)
+	if err != nil {
+		return nil, err
+	}
+	clauses := e.crossingClauses(p.Outer.Rels, p.Inner.Rels)
+	var out [][]int64
+	for _, or := range outerRows {
+		for _, ir := range innerRows {
+			match := true
+			for _, cl := range clauses {
+				a, err1 := e.colPos(p.Outer.Rels, cl[0])
+				b, err2 := e.colPos(p.Inner.Rels, cl[1])
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("executor: bad clause in nested loop")
+				}
+				if or[a] != ir[b] {
+					match = false
+					break
+				}
+			}
+			if match {
+				out = append(out, e.combine(p.Rels, p.Outer.Rels, or, p.Inner.Rels, ir))
+			}
+		}
+	}
+	return out, nil
+}
+
+// aggregate deduplicates rows by the query's grouping columns, keeping the
+// first row of each group (the engine models grouping cardinality, not
+// aggregate functions).
+func (e *Executor) aggregate(p *optimizer.Path) ([][]int64, error) {
+	rows, err := e.exec(p.Child)
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, len(e.Q.GroupBy))
+	for i, g := range e.Q.GroupBy {
+		pp, err := e.colPos(p.Rels, g)
+		if err != nil {
+			return nil, err
+		}
+		pos[i] = pp
+	}
+	seen := make(map[string]bool, len(rows))
+	var out [][]int64
+	for _, r := range rows {
+		b := make([]byte, 0, len(pos)*9)
+		for _, pp := range pos {
+			v := r[pp]
+			for s := 0; s < 64; s += 8 {
+				b = append(b, byte(v>>uint(s)))
+			}
+			b = append(b, ':')
+		}
+		k := string(b)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	// Sorted aggregation preserves its input order; hash aggregation does
+	// not promise one. Keeping arrival order satisfies both.
+	return out, nil
+}
+
+// Project reduces the result to the query's select list, in select order.
+func (r *ResultSet) Project() [][]int64 {
+	pos := make([]int, len(r.q.Select))
+	for i, c := range r.q.Select {
+		pos[i] = r.layout[c.Rel] + r.q.Rels[c.Rel].Table.ColumnOrdinal(c.Column)
+	}
+	out := make([][]int64, len(r.Rows))
+	for i, row := range r.Rows {
+		pr := make([]int64, len(pos))
+		for k, pp := range pos {
+			pr[k] = row[pp]
+		}
+		out[i] = pr
+	}
+	return out
+}

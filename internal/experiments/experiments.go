@@ -1,0 +1,606 @@
+// Package experiments implements the drivers that regenerate every table
+// and figure of the paper's evaluation (§VI), printing rows in the same
+// shape the paper reports:
+//
+//	E1  §VI-B  what-if index accuracy (cost with built vs simulated index)
+//	E2  §VI-C  cost-model accuracy over random atomic configurations
+//	E3  Fig. 4/5  cache-construction and access-cost collection times
+//	E4  Fig. 6/7  index selection tool: execution time before/after
+//	E5  §IV  optimizer-call redundancy (combinations vs unique plans)
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/pinumdb/pinum/internal/advisor"
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/data"
+	"github.com/pinumdb/pinum/internal/executor"
+	"github.com/pinumdb/pinum/internal/inum"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/storage"
+	"github.com/pinumdb/pinum/internal/whatif"
+	"github.com/pinumdb/pinum/internal/workload"
+)
+
+// Env bundles the shared experimental environment: the 10 GB-scale star
+// schema and the 10-query workload.
+type Env struct {
+	Star    *workload.Star
+	Queries []*query.Query
+	Seed    int64
+}
+
+// NewEnv builds the standard environment (statistics at the paper's 10 GB
+// scale; nothing is materialised).
+func NewEnv(seed int64) (*Env, error) {
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		return nil, err
+	}
+	qs, err := s.Queries(seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Star: s, Queries: qs, Seed: seed}, nil
+}
+
+func (e *Env) analysis(q *query.Query) (*optimizer.Analysis, error) {
+	return optimizer.NewAnalysis(q, e.Star.Stats, optimizer.DefaultCostParams())
+}
+
+// ---------------------------------------------------------------- E1 ----
+
+// E1Row is one trial of the what-if accuracy experiment.
+type E1Row struct {
+	Query    string
+	Config   string
+	Actual   float64 // optimizer cost with measured (built) index sizes
+	Estimate float64 // optimizer cost with leaf-only what-if sizes
+	Error    float64 // |Estimate-Actual| / Actual
+}
+
+// E1Result aggregates the 50 trials of §VI-B.
+type E1Result struct {
+	Rows     []E1Row
+	AvgError float64
+	MaxError float64
+}
+
+// RunE1 repeats the paper's experiment: estimate query cost with the same
+// index once simulated (what-if: leaf pages only) and once "implemented"
+// (full B-tree: internal pages included), 50 times over random index sets.
+func RunE1(env *Env, trials int) (*E1Result, error) {
+	if trials <= 0 {
+		trials = 50
+	}
+	rng := rand.New(rand.NewSource(env.Seed + 1))
+	res := &E1Result{}
+	for trial := 0; trial < trials; trial++ {
+		q := env.Queries[rng.Intn(len(env.Queries))]
+		a, err := env.analysis(q)
+		if err != nil {
+			return nil, err
+		}
+		ws := whatif.NewSession(env.Star.Catalog)
+		cfg, err := workload.RandomAtomicConfig(rng, a, ws, 0.9)
+		if err != nil {
+			return nil, err
+		}
+		if len(cfg.Indexes) == 0 {
+			continue
+		}
+		// The "actual" configuration replaces each leaf-only what-if
+		// descriptor with a fully-built descriptor of the same key.
+		actualCfg := &query.Config{}
+		for _, ix := range cfg.Indexes {
+			t := env.Star.Catalog.Table(ix.Table)
+			actualCfg.Indexes = append(actualCfg.Indexes,
+				storage.BuiltIndex(ix.Name+"_built", t, ix.Columns))
+		}
+		est, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: true})
+		if err != nil {
+			return nil, err
+		}
+		act, err := optimizer.Optimize(a, actualCfg, optimizer.Options{EnableNestLoop: true})
+		if err != nil {
+			return nil, err
+		}
+		e := relErr(est.Best.Cost, act.Best.Cost)
+		res.Rows = append(res.Rows, E1Row{
+			Query: q.Name, Config: cfg.String(),
+			Actual: act.Best.Cost, Estimate: est.Best.Cost, Error: e,
+		})
+	}
+	for _, r := range res.Rows {
+		res.AvgError += r.Error
+		if r.Error > res.MaxError {
+			res.MaxError = r.Error
+		}
+	}
+	if len(res.Rows) > 0 {
+		res.AvgError /= float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// String renders the E1 summary in the paper's terms.
+func (r *E1Result) String() string {
+	return fmt.Sprintf(
+		"E1 what-if index accuracy (%d trials)\n"+
+			"  average cost-estimation error: %.2f%%  (paper: 0.33%%)\n"+
+			"  maximum cost-estimation error: %.2f%%  (paper: 1.05%%)\n",
+		len(r.Rows), 100*r.AvgError, 100*r.MaxError)
+}
+
+// ---------------------------------------------------------------- E2 ----
+
+// E2Row reports cost-model accuracy for one query.
+type E2Row struct {
+	Query       string
+	Configs     int
+	PinumAvgErr float64
+	PinumMaxErr float64
+	InumAvgErr  float64
+	InumMaxErr  float64
+}
+
+// E2Result is the §VI-C table.
+type E2Result struct {
+	Rows []E2Row
+}
+
+// RunE2 compares the cached cost models against direct optimizer calls on
+// random atomic configurations (the paper uses 1000 per query).
+func RunE2(env *Env, configsPerQuery int, queries []*query.Query) (*E2Result, error) {
+	if configsPerQuery <= 0 {
+		configsPerQuery = 1000
+	}
+	if queries == nil {
+		queries = env.Queries
+	}
+	rng := rand.New(rand.NewSource(env.Seed + 2))
+	res := &E2Result{}
+	for _, q := range queries {
+		a, err := env.analysis(q)
+		if err != nil {
+			return nil, err
+		}
+		pin, err := core.Build(a, whatif.NewSession(env.Star.Catalog))
+		if err != nil {
+			return nil, err
+		}
+		in, err := inum.Build(a, whatif.NewSession(env.Star.Catalog))
+		if err != nil {
+			return nil, err
+		}
+		ws := whatif.NewSession(env.Star.Catalog)
+		row := E2Row{Query: q.Name}
+		for trial := 0; trial < configsPerQuery; trial++ {
+			cfg, err := workload.RandomAtomicConfig(rng, a, ws, 0.7)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: true})
+			if err != nil {
+				return nil, err
+			}
+			want := opt.Best.Cost
+			pc, _, err := pin.Cost(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ic, _, err := in.Cost(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pe, ie := relErr(pc, want), relErr(ic, want)
+			row.Configs++
+			row.PinumAvgErr += pe
+			row.InumAvgErr += ie
+			row.PinumMaxErr = math.Max(row.PinumMaxErr, pe)
+			row.InumMaxErr = math.Max(row.InumMaxErr, ie)
+		}
+		if row.Configs > 0 {
+			row.PinumAvgErr /= float64(row.Configs)
+			row.InumAvgErr /= float64(row.Configs)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the E2 table.
+func (r *E2Result) String() string {
+	var b strings.Builder
+	b.WriteString("E2 cost-model accuracy vs direct optimizer calls\n")
+	b.WriteString("  query  configs  PINUM avg/max err      INUM avg/max err\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-5s  %7d  %6.2f%% / %6.2f%%     %6.2f%% / %6.2f%%\n",
+			row.Query, row.Configs,
+			100*row.PinumAvgErr, 100*row.PinumMaxErr,
+			100*row.InumAvgErr, 100*row.InumMaxErr)
+	}
+	b.WriteString("  (paper, PINUM: six queries <1% error, three ≈4%, one ≈9%; INUM ≈7% average)\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------- E3 ----
+
+// E3Row reports construction costs for one query (one group of bars in
+// Fig. 4/5).
+type E3Row struct {
+	Query  string
+	Tables int
+	Combos int
+
+	InumCacheTime   time.Duration
+	InumCacheCalls  int
+	PinumCacheTime  time.Duration
+	PinumCacheCalls int
+
+	InumAccessTime  time.Duration
+	InumAccessCalls int
+	PinumAccessTime time.Duration
+
+	Candidates int
+}
+
+// Speedup ratios.
+func (r *E3Row) CacheSpeedup() float64 {
+	if r.PinumCacheTime <= 0 {
+		return 0
+	}
+	return float64(r.InumCacheTime) / float64(r.PinumCacheTime)
+}
+
+func (r *E3Row) AccessSpeedup() float64 {
+	if r.PinumAccessTime <= 0 {
+		return 0
+	}
+	return float64(r.InumAccessTime) / float64(r.PinumAccessTime)
+}
+
+// E3Result is the Fig. 4/5 data.
+type E3Result struct {
+	Rows []E3Row
+}
+
+// RunE3 measures, per query, the wall-clock time to (a) fill the plan
+// cache and (b) collect candidate-index access costs, with conventional
+// INUM (one optimizer call per combination / per index) and with PINUM's
+// hooks (two calls / one call).
+func RunE3(env *Env, queries []*query.Query) (*E3Result, error) {
+	if queries == nil {
+		queries = env.Queries
+	}
+	res := &E3Result{}
+	for _, q := range queries {
+		a, err := env.analysis(q)
+		if err != nil {
+			return nil, err
+		}
+		row := E3Row{Query: q.Name, Tables: len(q.Rels), Combos: q.ComboCount()}
+
+		pin, err := core.Build(a, whatif.NewSession(env.Star.Catalog))
+		if err != nil {
+			return nil, err
+		}
+		row.PinumCacheTime = pin.Stats.Duration
+		row.PinumCacheCalls = pin.Stats.OptimizerCalls
+
+		in, err := inum.Build(a, whatif.NewSession(env.Star.Catalog))
+		if err != nil {
+			return nil, err
+		}
+		row.InumCacheTime = in.Stats.Duration
+		row.InumCacheCalls = in.Stats.OptimizerCalls
+
+		// Candidate indexes for the access-cost lookup comparison.
+		ws := whatif.NewSession(env.Star.Catalog)
+		_, names, err := workload.CandidateIndexes(a, ws)
+		if err != nil {
+			return nil, err
+		}
+		var cands []*catalog.Index
+		for _, ix := range ws.Indexes() {
+			cands = append(cands, ix)
+		}
+		_ = names
+		row.Candidates = len(cands)
+
+		naive := inum.CollectAccessCostsNaive(a, cands)
+		row.InumAccessTime = naive.Duration
+		row.InumAccessCalls = naive.Calls
+
+		batch := core.CollectAccessCosts(a, cands)
+		row.PinumAccessTime = batch.Duration
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the Fig. 4/5 table.
+func (r *E3Result) String() string {
+	var b strings.Builder
+	b.WriteString("E3 cache-construction and access-cost collection times (Fig. 4/5)\n")
+	b.WriteString("  query  tbl  combos  INUM cache (calls)    PINUM cache (calls)   speedup |  INUM access (calls)   PINUM access   speedup\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-5s  %3d  %6d  %12v (%4d)  %12v (%4d)  %6.1fx | %12v (%4d)  %12v  %6.1fx\n",
+			row.Query, row.Tables, row.Combos,
+			row.InumCacheTime.Round(time.Microsecond), row.InumCacheCalls,
+			row.PinumCacheTime.Round(time.Microsecond), row.PinumCacheCalls,
+			row.CacheSpeedup(),
+			row.InumAccessTime.Round(time.Microsecond), row.InumAccessCalls,
+			row.PinumAccessTime.Round(time.Microsecond),
+			row.AccessSpeedup())
+	}
+	b.WriteString("  (paper: PINUM ≥5–10x for cache construction, ~5x for access costs,\n")
+	b.WriteString("   ≥2 orders of magnitude for queries joining >3 tables)\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------- E4 ----
+
+// E4Row is one query's execution time before/after index selection
+// (Fig. 7).
+type E4Row struct {
+	Query    string
+	Original time.Duration
+	WithIdx  time.Duration
+	EstBase  float64
+	EstFinal float64
+}
+
+// E4Result is the index-selection experiment outcome.
+type E4Result struct {
+	Rows []E4Row
+	// Chosen describes the advisor's suggested indexes.
+	Chosen []string
+	// BudgetBytes and UsedBytes report the space constraint.
+	BudgetBytes, UsedBytes int64
+	// AvgSpeedup is the mean per-query execution-time reduction.
+	AvgSpeedup float64
+	// EstSpeedup is the advisor's own cost-model speedup estimate.
+	EstSpeedup float64
+	// Scale is the materialisation scale used for executions.
+	Scale float64
+}
+
+// RunE4 runs the §V-E index selection tool on the 10-query workload with
+// the paper's 5 GB budget (chosen at full 10 GB-scale statistics), then
+// measures real executions on a scaled-down materialised database with and
+// without the suggested indexes.
+func RunE4(env *Env, execScale float64, budgetGB float64) (*E4Result, error) {
+	if execScale <= 0 {
+		execScale = 0.001
+	}
+	if budgetGB <= 0 {
+		budgetGB = 5
+	}
+	ad := advisor.New(env.Star.Catalog, env.Star.Stats, storage.BytesForGB(budgetGB))
+	for _, q := range env.Queries {
+		if err := ad.AddQuery(q, 1); err != nil {
+			return nil, err
+		}
+	}
+	sel, err := ad.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialise a scaled-down copy of the same schema for execution.
+	small, err := workload.StarSchema(execScale)
+	if err != nil {
+		return nil, err
+	}
+	smallQs, err := small.Queries(env.Seed)
+	if err != nil {
+		return nil, err
+	}
+	db, err := data.Materialize(small.Catalog, env.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+
+	// Transfer the chosen index definitions onto the scaled schema.
+	ws := whatif.NewSession(small.Catalog)
+	cfg := &query.Config{}
+	for _, ix := range sel.Chosen {
+		nix, err := ws.CreateIndex(ix.Table, ix.Columns...)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Indexes = append(cfg.Indexes, nix)
+	}
+
+	res := &E4Result{
+		BudgetBytes: ad.BudgetBytes,
+		UsedBytes:   sel.TotalBytes,
+		EstSpeedup:  sel.Speedup(),
+		Scale:       execScale,
+	}
+	for _, ix := range sel.Chosen {
+		res.Chosen = append(res.Chosen, ix.Key())
+	}
+
+	for _, q := range smallQs {
+		// Plan the executed queries with the in-memory cost profile so
+		// the chosen plans fit the substrate they actually run on.
+		a, err := optimizer.NewAnalysis(q, small.Stats, optimizer.InMemoryCostParams())
+		if err != nil {
+			return nil, err
+		}
+		orig, err := timedRun(db, a, q, nil)
+		if err != nil {
+			return nil, fmt.Errorf("E4 %s original: %w", q.Name, err)
+		}
+		fast, err := timedRun(db, a, q, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E4 %s with indexes: %w", q.Name, err)
+		}
+		e := sel.PerQuery[q.Name]
+		res.Rows = append(res.Rows, E4Row{
+			Query: q.Name, Original: orig, WithIdx: fast,
+			EstBase: e[0], EstFinal: e[1],
+		})
+	}
+	n := 0
+	for _, row := range res.Rows {
+		if row.Original > 0 {
+			res.AvgSpeedup += 1 - float64(row.WithIdx)/float64(row.Original)
+			n++
+		}
+	}
+	if n > 0 {
+		res.AvgSpeedup /= float64(n)
+	}
+	return res, nil
+}
+
+// timedRun optimizes under cfg and executes the chosen plan, returning the
+// best wall-clock execution time of three runs (plan time excluded, as in
+// the paper's execution-time figure; the minimum suppresses scheduler and
+// allocator noise at sub-millisecond scales).
+func timedRun(db *data.Database, a *optimizer.Analysis, q *query.Query, cfg *query.Config) (time.Duration, error) {
+	res, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: true})
+	if err != nil {
+		return 0, err
+	}
+	// Pre-build any indexes the plan needs so index build time is not
+	// charged to the execution (indexes are built once, used many times).
+	if err := prebuildIndexes(db, res.Best); err != nil {
+		return 0, err
+	}
+	ex := executor.New(db, q)
+	best := time.Duration(0)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		if _, err := ex.Run(res.Best); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func prebuildIndexes(db *data.Database, p *optimizer.Path) error {
+	if p == nil {
+		return nil
+	}
+	if p.Index != nil {
+		if _, err := db.BuildIndex(p.Index); err != nil {
+			return err
+		}
+	}
+	if err := prebuildIndexes(db, p.Child); err != nil {
+		return err
+	}
+	if err := prebuildIndexes(db, p.Outer); err != nil {
+		return err
+	}
+	return prebuildIndexes(db, p.Inner)
+}
+
+// String renders the Fig. 6/7 tables.
+func (r *E4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E4 index selection tool (budget %.1f GB, used %.2f GB, %d indexes; executions at scale %g)\n",
+		storage.GigaBytes(r.BudgetBytes), storage.GigaBytes(r.UsedBytes), len(r.Chosen), r.Scale)
+	b.WriteString("  query  original exec   with indexes   speedup |  est. cost before → after\n")
+	for _, row := range r.Rows {
+		sp := 0.0
+		if row.Original > 0 {
+			sp = 1 - float64(row.WithIdx)/float64(row.Original)
+		}
+		fmt.Fprintf(&b, "  %-5s  %13v  %13v  %6.1f%% |  %12.0f → %12.0f\n",
+			row.Query, row.Original.Round(time.Microsecond), row.WithIdx.Round(time.Microsecond),
+			100*sp, row.EstBase, row.EstFinal)
+	}
+	fmt.Fprintf(&b, "  average execution speedup: %.1f%%  (paper: 95%%)\n", 100*r.AvgSpeedup)
+	fmt.Fprintf(&b, "  cost-model estimated speedup: %.1f%%\n", 100*r.EstSpeedup)
+	fmt.Fprintf(&b, "  suggested indexes:\n")
+	for _, c := range r.Chosen {
+		fmt.Fprintf(&b, "    %s\n", c)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- E5 ----
+
+// E5Result is the §IV redundancy analysis.
+type E5Result struct {
+	Rows []core.Redundancy
+	// TotalCombos and TotalUnique aggregate over the workload, matching
+	// the paper's "43 useful plans out of 266 combinations" summary.
+	TotalCombos, TotalUnique int
+}
+
+// RunE5 measures, for the Q5 analogue and every workload query, how many
+// interesting order combinations exist versus how many unique plans the
+// complete cache holds.
+func RunE5(env *Env) (*E5Result, error) {
+	res := &E5Result{}
+	q5, err := env.Star.Q5Analogue()
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range append([]*query.Query{q5}, env.Queries...) {
+		a, err := env.analysis(q)
+		if err != nil {
+			return nil, err
+		}
+		red, err := core.MeasureRedundancy(a, whatif.NewSession(env.Star.Catalog))
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, red)
+		if q != q5 {
+			res.TotalCombos += red.Combinations
+			res.TotalUnique += red.UniquePlans
+		}
+	}
+	return res, nil
+}
+
+// String renders the redundancy table.
+func (r *E5Result) String() string {
+	var b strings.Builder
+	b.WriteString("E5 optimizer-call redundancy (§IV)\n")
+	b.WriteString("  query        combos  unique plans  redundant calls\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-11s  %6d  %12d  %14.0f%%\n",
+			row.Query, row.Combinations, row.UniquePlans, 100*row.RedundantCallFraction)
+	}
+	fmt.Fprintf(&b, "  workload total: %d unique plans out of %d combinations  (paper: 43 of 266)\n",
+		r.TotalUnique, r.TotalCombos)
+	b.WriteString("  (paper, TPC-H Q5: 64 unique plans of 648 combinations → ~90% redundant)\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------- util --
+
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+// SortRowsByQuery orders E3 rows Q1..Q10 (helper for stable output).
+func SortRowsByQuery(rows []E3Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Query < rows[j].Query })
+}

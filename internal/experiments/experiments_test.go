@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func env(t testing.TB) *Env {
+	t.Helper()
+	e, err := NewEnv(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestE1ShapeMatchesPaper(t *testing.T) {
+	e := env(t)
+	r, err := RunE1(e, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if len(r.Rows) < 30 {
+		t.Fatalf("only %d trials produced configurations", len(r.Rows))
+	}
+	// The paper's point: what-if costing is accurate to ~1%, because only
+	// internal B-tree pages are unaccounted for.
+	if r.AvgError > 0.02 {
+		t.Errorf("average what-if error %.2f%% too large (paper: 0.33%%)", 100*r.AvgError)
+	}
+	if r.MaxError > 0.06 {
+		t.Errorf("max what-if error %.2f%% too large (paper: 1.05%%)", 100*r.MaxError)
+	}
+}
+
+func TestE2ShapeMatchesPaper(t *testing.T) {
+	e := env(t)
+	r, err := RunE2(e, 60, e.Queries[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	for _, row := range r.Rows {
+		// PINUM's complete cache should essentially match the optimizer.
+		if row.PinumAvgErr > 0.01 {
+			t.Errorf("%s: PINUM avg error %.2f%% exceeds 1%%", row.Query, 100*row.PinumAvgErr)
+		}
+		// INUM may err, but not be *better* than PINUM on average.
+		if row.InumAvgErr+1e-12 < row.PinumAvgErr {
+			t.Errorf("%s: INUM avg error %.4f%% below PINUM %.4f%%",
+				row.Query, 100*row.InumAvgErr, 100*row.PinumAvgErr)
+		}
+	}
+}
+
+func TestE3ShapeMatchesPaper(t *testing.T) {
+	e := env(t)
+	r, err := RunE3(e, e.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	fasterCache := 0
+	bigQueryBigWin := false
+	for _, row := range r.Rows {
+		if row.PinumCacheCalls != 2 {
+			t.Errorf("%s: PINUM made %d calls, want 2", row.Query, row.PinumCacheCalls)
+		}
+		if row.InumCacheCalls != 2*row.Combos {
+			t.Errorf("%s: INUM made %d calls, want %d", row.Query, row.InumCacheCalls, 2*row.Combos)
+		}
+		if row.CacheSpeedup() > 1 {
+			fasterCache++
+		}
+		if row.Tables > 3 && row.CacheSpeedup() >= 10 {
+			bigQueryBigWin = true
+		}
+	}
+	if fasterCache < len(r.Rows)-2 {
+		t.Errorf("PINUM cache construction faster on only %d of %d queries", fasterCache, len(r.Rows))
+	}
+	if !bigQueryBigWin {
+		t.Errorf("no >3-table query showed a ≥10x cache-construction speedup")
+	}
+}
+
+func TestE4ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("materialised execution skipped in -short mode")
+	}
+	e := env(t)
+	r, err := RunE4(e, 0.0005, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if len(r.Chosen) == 0 {
+		t.Fatal("advisor chose no indexes")
+	}
+	if r.UsedBytes > r.BudgetBytes {
+		t.Errorf("advisor exceeded budget: %d > %d", r.UsedBytes, r.BudgetBytes)
+	}
+	if r.EstSpeedup < 0.5 {
+		t.Errorf("estimated workload speedup %.1f%% below 50%% (paper: 95%%)", 100*r.EstSpeedup)
+	}
+	if r.AvgSpeedup < 0.3 {
+		t.Errorf("measured execution speedup %.1f%% below 30%% (paper: 95%%)", 100*r.AvgSpeedup)
+	}
+	// At least one chosen index should be a covering index on the fact
+	// table, the paper's headline outcome.
+	foundFact := false
+	for _, c := range r.Chosen {
+		if strings.HasPrefix(c, "fact(") {
+			foundFact = true
+		}
+	}
+	if !foundFact {
+		t.Errorf("no fact-table index chosen; got %v", r.Chosen)
+	}
+}
+
+func TestE5ShapeMatchesPaper(t *testing.T) {
+	e := env(t)
+	r, err := RunE5(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if r.Rows[0].Combinations != 648 {
+		t.Errorf("Q5 analogue has %d combinations, want 648", r.Rows[0].Combinations)
+	}
+	if r.Rows[0].RedundantCallFraction < 0.5 {
+		t.Errorf("Q5 analogue redundancy %.0f%% below 50%% (paper: 90%%)",
+			100*r.Rows[0].RedundantCallFraction)
+	}
+	if r.TotalUnique >= r.TotalCombos {
+		t.Errorf("workload has no redundancy: %d unique of %d combos", r.TotalUnique, r.TotalCombos)
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pinumdb/pinum/internal/inum"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/whatif"
+)
+
+// TestProfileExportModes logs how the two PINUM export calls (with and
+// without nested loops) split the construction time on the widest query.
+func TestProfileExportModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling log")
+	}
+	e := env(t)
+	for _, q := range []int{8, 9} {
+		qq := e.Queries[q]
+		a, err := e.analysis(qq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := whatif.NewSession(e.Star.Catalog)
+		cfg, err := inum.AllOrdersConfig(a, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []optimizer.Options{
+			{ExportAll: true},
+			{ExportAll: true, EnableNestLoop: true},
+			{ExportAll: true, EnableNestLoop: true, PaperPrune: true},
+			{ExportAll: true, EnableNestLoop: true, PreciseNLJ: true},
+		} {
+			start := time.Now()
+			res, err := optimizer.Optimize(a, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s (%d tables, %d combos) nlj=%v paper=%v precise=%v: %v, %d exported, %d considered",
+				qq.Name, len(qq.Rels), qq.ComboCount(), opts.EnableNestLoop, opts.PaperPrune, opts.PreciseNLJ,
+				time.Since(start).Round(time.Millisecond),
+				len(res.Exported), res.Stats.PathsConsidered)
+		}
+	}
+}

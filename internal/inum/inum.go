@@ -1,0 +1,279 @@
+// Package inum implements the INUM plan cache and its linear cost model
+// (Papadomanolakis, Dash, Ailamaki, VLDB'07), the baseline the paper builds
+// PINUM on.
+//
+// A cache holds, per interesting order combination, an optimal internal
+// plan: the join/sort/aggregation skeleton whose cost does not depend on
+// how the leaves access their tables. Estimating a query's cost under an
+// index configuration then requires no optimizer call: it is
+//
+//	min over cached plans p applicable under C of
+//	    internal(p) + Σ_leaves coef × accessCost(leaf, C)
+//
+// Package core builds the same cache with just one optimizer call per
+// nested-loop mode (the paper's contribution); this package provides the
+// cache structure, the cost model, and the conventional one-call-per-
+// combination construction used as the baseline.
+package inum
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/whatif"
+)
+
+// CachedPlan is one entry of the plan cache: an internal plan plus its leaf
+// access requirements.
+type CachedPlan struct {
+	// Combo is the interesting order combination the plan requires.
+	Combo query.OrderCombo
+	// Internal is the access-method-independent cost (joins, sorts,
+	// aggregation).
+	Internal float64
+	// Leaves holds one access requirement per query relation.
+	Leaves []optimizer.LeafReq
+	// NLJ marks plans containing nested-loop joins; INUM tracks them
+	// separately because their cost is only piecewise linear in access
+	// costs.
+	NLJ bool
+	// Sig is the canonical structural signature (plan identity).
+	Sig string
+	// Path is the originating path tree, kept for EXPLAIN and execution.
+	Path *optimizer.Path
+}
+
+// String renders the plan entry compactly.
+func (cp *CachedPlan) String() string {
+	return fmt.Sprintf("%s internal=%.2f nlj=%v", cp.Combo, cp.Internal, cp.NLJ)
+}
+
+// BuildStats records what cache construction cost.
+type BuildStats struct {
+	// OptimizerCalls is the number of full optimizer invocations.
+	OptimizerCalls int
+	// CombosEnumerated is the number of interesting order combinations
+	// the constructor iterated.
+	CombosEnumerated int
+	// PlansSeen is the number of (not necessarily distinct) plans
+	// returned by the optimizer.
+	PlansSeen int
+	// PlansCached is the number of unique plans retained.
+	PlansCached int
+	// Duration is the wall-clock construction time.
+	Duration time.Duration
+}
+
+// Cache is an INUM plan cache for one query.
+type Cache struct {
+	Q     *query.Query
+	A     *optimizer.Analysis
+	Plans []*CachedPlan
+	Stats BuildStats
+
+	sigs map[string]bool
+}
+
+// NewCache returns an empty cache over the analysed query.
+func NewCache(a *optimizer.Analysis) *Cache {
+	return &Cache{Q: a.Q, A: a, sigs: make(map[string]bool)}
+}
+
+// AddPath converts an optimizer path into a cache entry, deduplicating by
+// structural signature. It reports whether the plan was new.
+func (c *Cache) AddPath(p *optimizer.Path) bool {
+	c.Stats.PlansSeen++
+	sig := p.Signature()
+	if c.sigs[sig] {
+		return false
+	}
+	c.sigs[sig] = true
+	n := len(c.Q.Rels)
+	leaves := make([]optimizer.LeafReq, n)
+	for i := 0; i < n; i++ {
+		leaves[i] = optimizer.LeafReq{Mode: optimizer.AccessAny, Coef: 1}
+	}
+	nlj := false
+	for rel, req := range p.Leaves {
+		leaves[rel] = req
+		if req.Mode == optimizer.AccessLookup {
+			nlj = true
+		}
+	}
+	c.Plans = append(c.Plans, &CachedPlan{
+		Combo:    p.LeafCombo(n),
+		Internal: p.Internal,
+		Leaves:   leaves,
+		NLJ:      nlj,
+		Sig:      sig,
+		Path:     p,
+	})
+	c.Stats.PlansCached++
+	return true
+}
+
+// Cost estimates the query's optimal cost under the configuration using
+// only cached information — the operation that replaces an optimizer call.
+// It returns the winning plan. An error is returned only when no cached
+// plan is applicable (an empty cache).
+func (c *Cache) Cost(cfg *query.Config) (float64, *CachedPlan, error) {
+	best := math.Inf(1)
+	var bestPlan *CachedPlan
+	for _, cp := range c.Plans {
+		cost := cp.Internal
+		ok := true
+		for rel, req := range cp.Leaves {
+			a, applicable := c.A.AccessCost(rel, req, cfg)
+			if !applicable {
+				ok = false
+				break
+			}
+			cost += req.Coef * a
+		}
+		if ok && cost < best {
+			best = cost
+			bestPlan = cp
+		}
+	}
+	if bestPlan == nil {
+		return 0, nil, fmt.Errorf("inum: no applicable cached plan for configuration %s", cfg)
+	}
+	return best, bestPlan, nil
+}
+
+// UniqueCombos returns the number of distinct order combinations among the
+// cached plans (the paper's "useful plans" count).
+func (c *Cache) UniqueCombos() int {
+	seen := make(map[string]bool)
+	for _, cp := range c.Plans {
+		seen[cp.Combo.Key()] = true
+	}
+	return len(seen)
+}
+
+// CoveringConfig builds the atomic what-if configuration INUM optimizes
+// under for one combination: per non-Φ slot, a covering index leading on
+// the order column and including every other column the query needs from
+// that relation, so that the optimizer actually exploits the order.
+func CoveringConfig(a *optimizer.Analysis, ws *whatif.Session, oc query.OrderCombo) (*query.Config, error) {
+	cfg := &query.Config{}
+	done := make(map[string]bool)
+	for i, col := range oc {
+		if col == "" {
+			continue
+		}
+		table := a.Rels[i].Table.Name
+		if done[table] {
+			continue
+		}
+		done[table] = true
+		cols := coveringColumns(a, i, col)
+		ix, err := ws.CreateIndex(table, cols...)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Indexes = append(cfg.Indexes, ix)
+	}
+	return cfg, nil
+}
+
+// AllOrdersConfig builds the configuration PINUM optimizes under: for every
+// relation and every one of its interesting orders, a covering index
+// leading on that order.
+func AllOrdersConfig(a *optimizer.Analysis, ws *whatif.Session) (*query.Config, error) {
+	cfg := &query.Config{}
+	seen := make(map[string]bool)
+	for i := range a.Rels {
+		for _, col := range a.Rels[i].Interesting {
+			key := a.Rels[i].Table.Name + ":" + col
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			ix, err := ws.CreateIndex(a.Rels[i].Table.Name, coveringColumns(a, i, col)...)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Indexes = append(cfg.Indexes, ix)
+		}
+	}
+	return cfg, nil
+}
+
+func coveringColumns(a *optimizer.Analysis, rel int, lead string) []string {
+	ri := &a.Rels[rel]
+	rest := make([]string, 0, len(ri.Needed))
+	for col := range ri.Needed {
+		if col != lead {
+			rest = append(rest, col)
+		}
+	}
+	sort.Strings(rest)
+	return append([]string{lead}, rest...)
+}
+
+// Build constructs the cache the conventional INUM way: enumerate every
+// interesting order combination and invoke the optimizer once per
+// combination and nested-loop mode (2 × |combos| calls), caching each
+// returned optimal plan.
+func Build(a *optimizer.Analysis, ws *whatif.Session) (*Cache, error) {
+	start := time.Now()
+	c := NewCache(a)
+	combos := a.Q.EnumerateCombos()
+	c.Stats.CombosEnumerated = len(combos)
+	for _, oc := range combos {
+		cfg, err := CoveringConfig(a, ws, oc)
+		if err != nil {
+			return nil, err
+		}
+		for _, nlj := range []bool{false, true} {
+			res, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: nlj})
+			if err != nil {
+				return nil, err
+			}
+			c.Stats.OptimizerCalls++
+			c.AddPath(res.Best)
+		}
+	}
+	c.Stats.Duration = time.Since(start)
+	return c, nil
+}
+
+// AccessCostTable holds harvested per-index access costs, keyed by index
+// name, as the physical designer consumes them.
+type AccessCostTable struct {
+	ByIndex map[string][]optimizer.IndexAccess
+	// Calls is the number of optimizer invocations spent building the
+	// table.
+	Calls    int
+	Duration time.Duration
+}
+
+// CollectAccessCostsNaive measures index access costs the way INUM must
+// without optimizer hooks: one optimizer call per candidate index,
+// extracting that index's access cost from the returned information
+// (§V-C's "relatively inefficient" baseline).
+func CollectAccessCostsNaive(a *optimizer.Analysis, candidates []*catalog.Index) *AccessCostTable {
+	start := time.Now()
+	t := &AccessCostTable{ByIndex: make(map[string][]optimizer.IndexAccess)}
+	for _, ix := range candidates {
+		cfg := whatif.Config(ix)
+		res, err := optimizer.Optimize(a, cfg, optimizer.Options{CollectAccessCosts: true})
+		if err != nil {
+			continue
+		}
+		t.Calls++
+		for _, ia := range res.AccessCosts {
+			if ia.Index.Name == ix.Name {
+				t.ByIndex[ix.Name] = append(t.ByIndex[ix.Name], ia)
+			}
+		}
+	}
+	t.Duration = time.Since(start)
+	return t
+}

@@ -1,0 +1,170 @@
+package inum
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/whatif"
+	"github.com/pinumdb/pinum/internal/workload"
+)
+
+func setup(t testing.TB, qi int) (*workload.Star, *optimizer.Analysis) {
+	t.Helper()
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := optimizer.NewAnalysis(qs[qi], s.Stats, optimizer.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a
+}
+
+func TestBuildMakesTwoCallsPerCombo(t *testing.T) {
+	s, a := setup(t, 2)
+	c, err := Build(a, whatif.NewSession(s.Catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.OptimizerCalls != 2*a.Q.ComboCount() {
+		t.Errorf("calls = %d, want %d", c.Stats.OptimizerCalls, 2*a.Q.ComboCount())
+	}
+	if c.Stats.PlansCached == 0 || c.Stats.PlansCached > c.Stats.PlansSeen {
+		t.Errorf("cached %d of %d seen", c.Stats.PlansCached, c.Stats.PlansSeen)
+	}
+	if c.Stats.Duration <= 0 {
+		t.Error("no duration recorded")
+	}
+}
+
+func TestCostOnEmptyCacheFails(t *testing.T) {
+	_, a := setup(t, 0)
+	c := NewCache(a)
+	if _, _, err := c.Cost(&query.Config{}); err == nil {
+		t.Error("empty cache produced a cost")
+	}
+}
+
+func TestCostNeverBelowOptimizer(t *testing.T) {
+	s, a := setup(t, 3)
+	c, err := Build(a, whatif.NewSession(s.Catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := whatif.NewSession(s.Catalog)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 30; i++ {
+		cfg, err := workload.RandomAtomicConfig(rng, a, ws, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, plan, err := c.Cost(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan == nil {
+			t.Fatal("no winning plan")
+		}
+		res, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every cached plan is a real plan, so the model can never claim
+		// a cost below the true optimum.
+		if got < res.Best.Cost*(1-1e-9) {
+			t.Fatalf("cfg %s: model %f below optimizer %f", cfg, got, res.Best.Cost)
+		}
+	}
+}
+
+func TestAddPathDeduplicates(t *testing.T) {
+	s, a := setup(t, 0)
+	res, err := optimizer.Optimize(a, nil, optimizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(a)
+	if !c.AddPath(res.Best) {
+		t.Error("first AddPath rejected")
+	}
+	if c.AddPath(res.Best) {
+		t.Error("duplicate AddPath accepted")
+	}
+	if c.Stats.PlansSeen != 2 || c.Stats.PlansCached != 1 {
+		t.Errorf("stats %+v", c.Stats)
+	}
+	if c.UniqueCombos() != 1 {
+		t.Errorf("UniqueCombos = %d", c.UniqueCombos())
+	}
+	_ = s
+}
+
+func TestAllOrdersConfigCoversEverything(t *testing.T) {
+	s, a := setup(t, 4)
+	ws := whatif.NewSession(s.Catalog)
+	cfg, err := AllOrdersConfig(a, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rels {
+		for _, col := range a.Rels[i].Interesting {
+			found := false
+			for _, ix := range cfg.Indexes {
+				if ix.Table == a.Rels[i].Table.Name && ix.Covers(col) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("order %s.%s not covered", a.Rels[i].Table.Name, col)
+			}
+		}
+	}
+}
+
+func TestCoveringConfigIsAtomicAndCovers(t *testing.T) {
+	s, a := setup(t, 4)
+	ws := whatif.NewSession(s.Catalog)
+	combos := a.Q.EnumerateCombos()
+	oc := combos[len(combos)-1] // the most specific combination
+	cfg, err := CoveringConfig(a, ws, oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Atomic(a.Q) {
+		t.Error("covering config not atomic")
+	}
+	if !cfg.Covers(a.Q, oc) {
+		t.Errorf("covering config does not cover %v", oc)
+	}
+}
+
+func TestCollectAccessCostsNaiveCallsPerIndex(t *testing.T) {
+	s, a := setup(t, 2)
+	ws := whatif.NewSession(s.Catalog)
+	if _, _, err := workload.CandidateIndexes(a, ws); err != nil {
+		t.Fatal(err)
+	}
+	cands := ws.Indexes()
+	tab := CollectAccessCostsNaive(a, cands)
+	if tab.Calls != len(cands) {
+		t.Errorf("naive collection made %d calls for %d candidates", tab.Calls, len(cands))
+	}
+	if len(tab.ByIndex) == 0 {
+		t.Error("no access costs collected")
+	}
+	for name, list := range tab.ByIndex {
+		for _, ia := range list {
+			if ia.ScanCost <= 0 {
+				t.Errorf("index %s: non-positive scan cost", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/stats"
+	"github.com/pinumdb/pinum/internal/storage"
+)
+
+// RelInfo is the per-relation planning state derived once per query:
+// applied filters, their combined selectivity, the set of columns the query
+// touches, and the relation's interesting orders.
+type RelInfo struct {
+	Rel     int
+	Table   *catalog.Table
+	Filters []query.Filter
+	// Sel is the combined selectivity of all filters.
+	Sel float64
+	// Rows is Table.RowCount × Sel.
+	Rows float64
+	// Needed holds every column of this relation the query references.
+	Needed map[string]bool
+	// FilterSel maps a column to the combined selectivity of the filters
+	// on that column (used for index range scans on that column).
+	FilterSel map[string]float64
+	// Interesting lists this relation's interesting orders, sorted.
+	Interesting []string
+}
+
+// Analysis bundles everything cost evaluation needs about a query. It is
+// shared by the optimizer proper and by the INUM/PINUM cost model, which is
+// what guarantees the two cost identical plans identically.
+type Analysis struct {
+	Q      *query.Query
+	Stats  *stats.Store
+	Coster Coster
+
+	Rels []RelInfo
+	// JoinSel caches the selectivity of each join clause, index-aligned
+	// with Q.Joins.
+	JoinSel []float64
+
+	rowsCache map[RelSet]float64
+}
+
+// NewAnalysis derives the planning state for q. The statistics store may be
+// nil, in which case column metadata defaults drive selectivity.
+func NewAnalysis(q *query.Query, st *stats.Store, params CostParams) (*Analysis, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Q:         q,
+		Stats:     st,
+		Coster:    Coster{P: params},
+		rowsCache: make(map[RelSet]float64),
+	}
+	needed := q.ColumnsNeeded()
+	ios := q.InterestingOrders()
+	for i, r := range q.Rels {
+		ri := RelInfo{
+			Rel:         i,
+			Table:       r.Table,
+			Needed:      needed[i],
+			FilterSel:   make(map[string]float64),
+			Interesting: ios[i],
+			Sel:         1,
+		}
+		for _, f := range q.Filters {
+			if f.Col.Rel != i {
+				continue
+			}
+			ri.Filters = append(ri.Filters, f)
+			s := a.filterSelectivity(r.Table, f)
+			ri.Sel *= s
+			if prev, ok := ri.FilterSel[f.Col.Column]; ok {
+				ri.FilterSel[f.Col.Column] = prev * s
+			} else {
+				ri.FilterSel[f.Col.Column] = s
+			}
+		}
+		ri.Rows = float64(r.Table.RowCount) * ri.Sel
+		if ri.Rows < 1 {
+			ri.Rows = 1
+		}
+		a.Rels = append(a.Rels, ri)
+	}
+	for _, j := range q.Joins {
+		a.JoinSel = append(a.JoinSel, a.joinSelectivity(j))
+	}
+	return a, nil
+}
+
+// colStats returns the statistics for a column, synthesising them from the
+// column metadata when the store has none.
+func (a *Analysis) colStats(t *catalog.Table, col string) *stats.ColumnStats {
+	if a.Stats != nil {
+		if s := a.Stats.Get(t.Name, col); s != nil {
+			return s
+		}
+	}
+	c := t.Column(col)
+	if c == nil {
+		return nil
+	}
+	ndv := c.NDV
+	if ndv <= 0 {
+		ndv = t.RowCount
+	}
+	return &stats.ColumnStats{
+		Rows:     t.RowCount,
+		Distinct: ndv,
+		Min:      c.Min,
+		Max:      c.Max,
+	}
+}
+
+// NDV returns the distinct-value count of a column, at least 1.
+func (a *Analysis) NDV(t *catalog.Table, col string) float64 {
+	s := a.colStats(t, col)
+	if s == nil || s.Distinct <= 0 {
+		return math.Max(1, float64(t.RowCount))
+	}
+	return float64(s.Distinct)
+}
+
+func (a *Analysis) filterSelectivity(t *catalog.Table, f query.Filter) float64 {
+	s := a.colStats(t, f.Col.Column)
+	switch f.Op {
+	case query.Eq:
+		return s.EqSelectivity(f.Value)
+	case query.Lt:
+		return s.LTSelectivity(f.Value)
+	case query.Le:
+		return s.LTSelectivity(f.Value + 1)
+	case query.Gt:
+		return clamp01(1 - s.LTSelectivity(f.Value+1))
+	case query.Ge:
+		return clamp01(1 - s.LTSelectivity(f.Value))
+	case query.Between:
+		return s.RangeSelectivity(f.Value, f.Value2)
+	default:
+		return stats.DefaultRangeSel
+	}
+}
+
+func (a *Analysis) joinSelectivity(j query.Join) float64 {
+	lt := a.Q.Rels[j.Left.Rel].Table
+	rt := a.Q.Rels[j.Right.Rel].Table
+	nl := a.NDV(lt, j.Left.Column)
+	nr := a.NDV(rt, j.Right.Column)
+	d := math.Max(nl, nr)
+	if d < 1 {
+		d = 1
+	}
+	return 1 / d
+}
+
+// JoinRows estimates the cardinality of the join of the relations in set s:
+// the product of filtered base cardinalities times the selectivity of every
+// join clause internal to s. The estimate is order-independent, so it is
+// cached per set.
+func (a *Analysis) JoinRows(s RelSet) float64 {
+	if r, ok := a.rowsCache[s]; ok {
+		return r
+	}
+	rows := 1.0
+	for _, i := range s.Members() {
+		rows *= a.Rels[i].Rows
+	}
+	for k, j := range a.Q.Joins {
+		if s.Has(j.Left.Rel) && s.Has(j.Right.Rel) {
+			rows *= a.JoinSel[k]
+		}
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	a.rowsCache[s] = rows
+	return rows
+}
+
+// GroupCount estimates the number of groups produced by grouping on cols,
+// given input cardinality rows.
+func (a *Analysis) GroupCount(cols []query.ColRef, rows float64) float64 {
+	if len(cols) == 0 {
+		return 1
+	}
+	g := 1.0
+	for _, c := range cols {
+		g *= a.NDV(a.Q.Rels[c.Rel].Table, c.Column)
+		if g > rows {
+			return math.Max(1, rows)
+		}
+	}
+	return math.Max(1, math.Min(g, rows))
+}
+
+// indexScanFacts describes one concrete index access option for a relation.
+type indexScanFacts struct {
+	Cost      float64
+	IndexOnly bool
+	// Ordered reports whether the scan delivers rows in lead-column order
+	// usable as a pathkey (always true for B-tree scans here).
+	LeadCol string
+}
+
+// IndexScanCost costs a scan of relation rel through index ix: the index
+// applies any filters on its leading column as the range condition, fetches
+// the heap unless the index covers all needed columns, and applies the
+// remaining filters as quals.
+func (a *Analysis) IndexScanCost(rel int, ix *catalog.Index) indexScanFacts {
+	ri := &a.Rels[rel]
+	t := ri.Table
+	scanSel := 1.0
+	leadFiltered := false
+	if s, ok := ri.FilterSel[ix.LeadColumn()]; ok {
+		scanSel = s
+		leadFiltered = true
+	}
+	indexOnly := true
+	for col := range ri.Needed {
+		if !ix.HasColumn(col) {
+			indexOnly = false
+			break
+		}
+	}
+	nQuals := len(ri.Filters)
+	if leadFiltered {
+		nQuals-- // the lead-column filter is the index condition
+		if nQuals < 0 {
+			nQuals = 0
+		}
+	}
+	cost := a.Coster.IndexScanCost(t, ix, scanSel, indexOnly, nQuals)
+	return indexScanFacts{Cost: cost, IndexOnly: indexOnly, LeadCol: ix.LeadColumn()}
+}
+
+// SeqScanCost costs a full scan of relation rel.
+func (a *Analysis) SeqScanCost(rel int) float64 {
+	ri := &a.Rels[rel]
+	return a.Coster.SeqScanCost(storage.TablePages(ri.Table), ri.Table.RowCount, len(ri.Filters))
+}
+
+// LookupRows is the expected number of heap matches per equality probe on
+// col (before the relation's other filters are applied).
+func (a *Analysis) LookupRows(rel int, col string) float64 {
+	ri := &a.Rels[rel]
+	m := float64(ri.Table.RowCount) / a.NDV(ri.Table, col)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// LookupCost costs one nested-loop probe of relation rel through index ix
+// on column col, remaining filters applied as quals.
+func (a *Analysis) LookupCost(rel int, ix *catalog.Index, col string) float64 {
+	ri := &a.Rels[rel]
+	match := a.LookupRows(rel, col)
+	indexOnly := true
+	for c := range ri.Needed {
+		if !ix.HasColumn(c) {
+			indexOnly = false
+			break
+		}
+	}
+	cost := a.Coster.LookupCost(ri.Table, ix, match, indexOnly)
+	cost += match * float64(len(ri.Filters)) * a.Coster.P.CPUOperatorCost
+	return cost
+}
+
+// AccessCost evaluates the access cost of one cached-plan leaf requirement
+// under an arbitrary index configuration, considering exactly the access
+// paths the optimizer itself would consider. It returns false when the
+// configuration cannot satisfy the requirement (no covering index for an
+// ordered or lookup access).
+func (a *Analysis) AccessCost(rel int, req LeafReq, cfg *query.Config) (float64, bool) {
+	ri := &a.Rels[rel]
+	switch req.Mode {
+	case AccessAny:
+		best := a.SeqScanCost(rel)
+		if cfg != nil {
+			for _, ix := range cfg.Indexes {
+				if ix.Table != ri.Table.Name {
+					continue
+				}
+				if c := a.IndexScanCost(rel, ix).Cost; c < best {
+					best = c
+				}
+			}
+		}
+		return best, true
+	case AccessOrdered:
+		best := math.Inf(1)
+		if cfg != nil {
+			for _, ix := range cfg.Indexes {
+				if ix.Table != ri.Table.Name || !ix.Covers(req.Col) {
+					continue
+				}
+				if c := a.IndexScanCost(rel, ix).Cost; c < best {
+					best = c
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			return 0, false
+		}
+		return best, true
+	case AccessLookup:
+		best := math.Inf(1)
+		if cfg != nil {
+			for _, ix := range cfg.Indexes {
+				if ix.Table != ri.Table.Name || !ix.Covers(req.Col) {
+					continue
+				}
+				if c := a.LookupCost(rel, ix, req.Col); c < best {
+					best = c
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			return 0, false
+		}
+		return best, true
+	default:
+		return 0, false
+	}
+}
+
+// OrderedCols returns the relation's interesting orders coverable by the
+// given configuration (those with a covering index present).
+func (a *Analysis) OrderedCols(rel int, cfg *query.Config) []string {
+	ri := &a.Rels[rel]
+	var out []string
+	for _, col := range ri.Interesting {
+		if cfg == nil {
+			continue
+		}
+		for _, ix := range cfg.Indexes {
+			if ix.Table == ri.Table.Name && ix.Covers(col) {
+				out = append(out, col)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// String summarises the analysis (handy in debug output and tests).
+func (a *Analysis) String() string {
+	return fmt.Sprintf("analysis(%s: %d rels, %d joins)", a.Q.Name, len(a.Rels), len(a.Q.Joins))
+}

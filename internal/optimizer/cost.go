@@ -1,0 +1,180 @@
+package optimizer
+
+import (
+	"math"
+
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/storage"
+)
+
+// CostParams are the cost-model constants, modelled directly on
+// PostgreSQL's planner GUCs. All costs are in abstract "page fetch" units.
+type CostParams struct {
+	SeqPageCost       float64
+	RandomPageCost    float64
+	CPUTupleCost      float64
+	CPUIndexTupleCost float64
+	CPUOperatorCost   float64
+}
+
+// DefaultCostParams mirrors PostgreSQL 8.3 defaults except random_page_cost,
+// lowered to 2.0 (the common analytic-workload setting) so that covering
+// index scans are competitive, matching the behaviour the paper reports.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		SeqPageCost:       1.0,
+		RandomPageCost:    2.0,
+		CPUTupleCost:      0.01,
+		CPUIndexTupleCost: 0.005,
+		CPUOperatorCost:   0.0025,
+	}
+}
+
+// InMemoryCostParams calibrates the model for the in-memory execution
+// engine, where a "page fetch" is just decoding ~30 tuples and an index
+// probe costs a few node binary-searches rather than a disk seek. The
+// execution experiments plan with this profile (exactly as PostgreSQL
+// deployments lower the page costs for cached databases) so that the plans
+// executed on the materialised data match the substrate they run on.
+func InMemoryCostParams() CostParams {
+	return CostParams{
+		SeqPageCost:       0.30,
+		RandomPageCost:    0.40,
+		CPUTupleCost:      0.01,
+		CPUIndexTupleCost: 0.01,
+		CPUOperatorCost:   0.0025,
+	}
+}
+
+// Coster evaluates the primitive cost formulas. Both the optimizer and the
+// INUM/PINUM cost-model evaluation use the same Coster, which is what makes
+// the cached model exact for plans without nested loops (paper §II
+// observation 1).
+type Coster struct {
+	P CostParams
+}
+
+// SeqScanCost is the cost of a full heap scan applying nFilters quals.
+func (c *Coster) SeqScanCost(pages, rows int64, nFilters int) float64 {
+	return float64(pages)*c.P.SeqPageCost +
+		float64(rows)*c.P.CPUTupleCost +
+		float64(rows)*float64(nFilters)*c.P.CPUOperatorCost
+}
+
+// heapPagesFetched is the Mackert–Lohman style estimate of distinct heap
+// pages touched when fetching a fraction sel of rows in index order.
+func heapPagesFetched(sel float64, rows, pages, tuplesPerPage int64) float64 {
+	if sel <= 0 {
+		return 0
+	}
+	if sel >= 1 {
+		return float64(pages)
+	}
+	// Probability a given page holds at least one qualifying tuple.
+	p := 1 - math.Pow(1-sel, float64(tuplesPerPage))
+	return float64(pages) * p
+}
+
+// IndexScanCost is the cost of an index scan fetching fraction sel of the
+// table through index ix, then visiting the heap for each match.
+// indexOnly skips the heap visits (the index covers every needed column).
+func (c *Coster) IndexScanCost(t *catalog.Table, ix *catalog.Index, sel float64, indexOnly bool, nFilters int) float64 {
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	rows := float64(t.RowCount)
+	matched := rows * sel
+
+	// Descend the B-tree once, then read the qualifying fraction of the
+	// index. The read charge uses the index's *total* page count — for a
+	// what-if index that is the leaf-only §V-A estimate, for a built
+	// index it includes the internal pages, which is exactly the small
+	// gap experiment E1 measures.
+	descent := float64(ix.Height) * c.P.RandomPageCost
+	leaf := math.Ceil(float64(ix.TotalPages())*sel) * c.P.SeqPageCost
+	cpu := matched * c.P.CPUIndexTupleCost
+
+	cost := descent + leaf + cpu
+	if !indexOnly {
+		pages := storage.TablePages(t)
+		perPage := int64(1)
+		if pages > 0 {
+			perPage = (t.RowCount + pages - 1) / pages
+		}
+		heap := heapPagesFetched(sel, t.RowCount, pages, perPage)
+		cost += heap * c.P.RandomPageCost
+		cost += matched * c.P.CPUTupleCost
+	}
+	cost += matched * float64(nFilters) * c.P.CPUOperatorCost
+	return cost
+}
+
+// LookupCost is the per-loop cost of a parameterized inner index scan in a
+// nested-loop join: one descent plus matchRows fetches.
+func (c *Coster) LookupCost(t *catalog.Table, ix *catalog.Index, matchRows float64, indexOnly bool) float64 {
+	if matchRows < 0 {
+		matchRows = 0
+	}
+	descent := float64(ix.Height+1) * c.P.RandomPageCost
+	cost := descent + matchRows*c.P.CPUIndexTupleCost
+	if !indexOnly {
+		cost += matchRows * (c.P.RandomPageCost + c.P.CPUTupleCost)
+	}
+	return cost
+}
+
+// SortCost is the CPU cost of sorting rows tuples (the engine sorts in
+// memory; the paper's cost trends come from the n·log n term).
+func (c *Coster) SortCost(rows float64) float64 {
+	if rows < 2 {
+		return c.P.CPUOperatorCost * rows
+	}
+	return 2 * rows * math.Log2(rows) * c.P.CPUOperatorCost
+}
+
+// HashJoinCost is the cost of building a hash table on innerRows and
+// probing with outerRows, emitting outRows (input costs excluded).
+func (c *Coster) HashJoinCost(outerRows, innerRows, outRows float64) float64 {
+	build := innerRows * (c.P.CPUOperatorCost + c.P.CPUTupleCost)
+	probe := outerRows * c.P.CPUOperatorCost * 1.5
+	return build + probe + outRows*c.P.CPUTupleCost
+}
+
+// MergeJoinCost is the cost of merging two sorted inputs (input and any
+// enforcing sort costs excluded).
+func (c *Coster) MergeJoinCost(outerRows, innerRows, outRows float64) float64 {
+	return (outerRows+innerRows)*c.P.CPUOperatorCost + outRows*c.P.CPUTupleCost
+}
+
+// NestLoopCost is the join-level overhead of a nested-loop join: pairing
+// CPU and result emission. Per-loop inner cost is charged separately by the
+// caller (lookup × outerRows, or materialised rescans).
+func (c *Coster) NestLoopCost(outerRows, outRows float64) float64 {
+	return outerRows*c.P.CPUTupleCost + outRows*c.P.CPUTupleCost
+}
+
+// MaterialRescanCost is the cost of re-reading a materialised intermediate
+// of rows tuples once.
+func (c *Coster) MaterialRescanCost(rows float64) float64 {
+	return rows * c.P.CPUOperatorCost
+}
+
+// HashAggCost aggregates rows input tuples into groups over nCols grouping
+// columns using a hash table.
+func (c *Coster) HashAggCost(rows, groups float64, nCols int) float64 {
+	if nCols < 1 {
+		nCols = 1
+	}
+	return rows*c.P.CPUOperatorCost*float64(nCols) + groups*c.P.CPUTupleCost
+}
+
+// SortedAggCost aggregates a pre-sorted input: one comparison chain per row.
+func (c *Coster) SortedAggCost(rows, groups float64, nCols int) float64 {
+	if nCols < 1 {
+		nCols = 1
+	}
+	return rows*c.P.CPUOperatorCost*float64(nCols)*0.5 + groups*c.P.CPUTupleCost
+}

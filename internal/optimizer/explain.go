@@ -1,0 +1,51 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/pinumdb/pinum/internal/query"
+)
+
+// Explain renders a path tree in an EXPLAIN-like indented format, with
+// per-node rows and cumulative cost.
+func Explain(p *Path, q *query.Query) string {
+	var b strings.Builder
+	explainNode(&b, p, q, 0)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, p *Path, q *query.Query, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s", indent, p.Op)
+	switch p.Op {
+	case OpSeqScan:
+		fmt.Fprintf(b, " on %s", q.RelName(p.BaseRel))
+	case OpIndexScan, OpIndexOnlyScan:
+		name := "?"
+		if p.Index != nil {
+			name = p.Index.Name
+		}
+		fmt.Fprintf(b, " using %s on %s", name, q.RelName(p.BaseRel))
+	case OpSort:
+		keys := make([]string, len(p.SortKeys))
+		for i, k := range p.SortKeys {
+			keys[i] = fmt.Sprintf("%s.%s", q.RelName(k.Rel), k.Column)
+		}
+		fmt.Fprintf(b, " by %s", strings.Join(keys, ", "))
+	case OpHashJoin, OpMergeJoin, OpNestLoop, OpNestLoopMat:
+		j := p.JoinClause
+		fmt.Fprintf(b, " on %s.%s = %s.%s",
+			q.RelName(j.Left.Rel), j.Left.Column, q.RelName(j.Right.Rel), j.Right.Column)
+	}
+	fmt.Fprintf(b, "  (rows=%.0f cost=%.2f)\n", p.Rows, p.Cost)
+	switch {
+	case p.Child != nil:
+		explainNode(b, p.Child, q, depth+1)
+	case p.Outer != nil:
+		explainNode(b, p.Outer, q, depth+1)
+		if p.Inner != nil {
+			explainNode(b, p.Inner, q, depth+1)
+		}
+	}
+}

@@ -1,0 +1,746 @@
+// Package optimizer implements a bottom-up, System-R / PostgreSQL-style
+// query optimizer: an access path collector, a dynamic-programming join
+// planner that tracks interesting orders as pathkeys, and a grouping
+// planner that layers aggregation and ordering on top (paper §III).
+//
+// Three hooks reproduce PINUM's optimizer modifications (paper §V):
+//
+//   - Options.EnableNestLoop=false removes nested-loop joins entirely
+//     (the enable_nestloop tweak of §V-B);
+//   - Options.CollectAccessCosts keeps every index access path in the
+//     collector and reports its cost (§V-C);
+//   - Options.ExportAll switches the join planner's pruning to the
+//     subsumption rule of §V-D and exports one optimal plan per useful
+//     interesting order combination from a single call.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/query"
+)
+
+// Options selects the optimizer mode for one call.
+type Options struct {
+	// EnableNestLoop permits nested-loop join paths. INUM/PINUM cache
+	// construction makes one call with and one without them.
+	EnableNestLoop bool
+	// ExportAll replaces cheapest-total pruning with the paper's
+	// subsumption pruning and exports one plan per useful interesting
+	// order combination (the PINUM cache-construction hook).
+	ExportAll bool
+	// CollectAccessCosts reports the access cost of every configuration
+	// index instead of only the surviving cheapest paths (the PINUM
+	// access-cost hook).
+	CollectAccessCosts bool
+	// PreciseNLJ keeps nested-loop plans that differ only in probe count
+	// apart during subsumption pruning (the paper's §V-D higher-accuracy
+	// option: "a bigger plan cache and slower cost lookup"). Off by
+	// default, matching the paper's coarse treatment of nested loops.
+	PreciseNLJ bool
+	// PaperPrune applies §V-D's pruning rule literally, comparing total
+	// cost under the planning configuration ("Cost(SA) < Cost(SB)")
+	// instead of the provably-safe internal cost. It prunes far more —
+	// PINUM uses it for the nested-loop export call, accepting the small
+	// cost-model errors the paper reports.
+	PaperPrune bool
+}
+
+// IndexAccess reports the harvested access costs of one configuration index
+// on one query relation (the §V-C batch lookup output).
+type IndexAccess struct {
+	Rel        int
+	Index      *catalog.Index
+	ScanCost   float64 // full/range scan through the index
+	IndexOnly  bool    // scan avoids the heap entirely
+	OrderCol   string  // interesting order the index covers, "" if none
+	LookupCost float64 // per-probe nested-loop lookup on the lead column
+}
+
+// PlannerStats counts planner work, used by the experiments to show where
+// INUM's repeated calls spend their time.
+type PlannerStats struct {
+	PathsConsidered int
+	PathsRetained   int
+	JoinRels        int
+}
+
+// Result is the output of one optimizer call.
+type Result struct {
+	// Best is the cheapest complete plan under the given configuration.
+	Best *Path
+	// Exported holds, in ExportAll mode, the optimal plan for every
+	// useful interesting order combination (after subsumption pruning).
+	Exported []*Path
+	// AccessCosts holds, in CollectAccessCosts mode, the harvested
+	// per-index access costs.
+	AccessCosts []IndexAccess
+	Stats       PlannerStats
+}
+
+// Optimize plans the analysed query under the given index configuration.
+// This function is "one optimizer call" in the paper's accounting.
+func Optimize(a *Analysis, cfg *query.Config, opt Options) (*Result, error) {
+	n := len(a.Rels)
+	if n == 0 {
+		return nil, fmt.Errorf("optimizer: query %s has no relations", a.Q.Name)
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("optimizer: query %s joins %d relations; the DP planner supports at most 16", a.Q.Name, n)
+	}
+	p := &planner{a: a, cfg: cfg, opt: opt, res: &Result{}}
+	top, err := p.plan()
+	if err != nil {
+		return nil, err
+	}
+	final := p.finalize(top.paths)
+	if len(final) == 0 {
+		return nil, fmt.Errorf("optimizer: query %s produced no complete plan", a.Q.Name)
+	}
+	best := final[0]
+	for _, pt := range final[1:] {
+		if pt.Cost < best.Cost {
+			best = pt
+		}
+	}
+	p.res.Best = best
+	if opt.ExportAll {
+		p.res.Exported = final
+	}
+	if opt.CollectAccessCosts {
+		p.collectAccessCosts()
+	}
+	return p.res, nil
+}
+
+type planner struct {
+	a   *Analysis
+	cfg *query.Config
+	opt Options
+	res *Result
+}
+
+type joinRel struct {
+	set   RelSet
+	rows  float64
+	paths []*Path
+	// byKey deduplicates paths by (leaf combo, output order) during
+	// ExportAll construction; finishRel folds it into paths.
+	byKey map[string]*Path
+}
+
+// configIndexes returns the configuration's indexes on the table of
+// relation rel.
+func (p *planner) configIndexes(rel int) []*catalog.Index {
+	if p.cfg == nil {
+		return nil
+	}
+	t := p.a.Rels[rel].Table.Name
+	var out []*catalog.Index
+	for _, ix := range p.cfg.Indexes {
+		if ix.Table == t {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// scanPaths builds the access paths for one base relation: a single
+// cheapest "any order" access plus one ordered access per interesting order
+// the configuration covers. Folding every physical alternative into these
+// slots is exactly the INUM abstraction: the plan cache later re-prices the
+// slots under other configurations.
+func (p *planner) scanPaths(rel int) *joinRel {
+	ri := &p.a.Rels[rel]
+	jr := &joinRel{set: Single(rel), rows: ri.Rows}
+
+	// Any-order access: cheapest of a seq scan and every index scan.
+	bestCost := p.a.SeqScanCost(rel)
+	bestOp := OpSeqScan
+	var bestIx *catalog.Index
+	for _, ix := range p.configIndexes(rel) {
+		f := p.a.IndexScanCost(rel, ix)
+		if f.Cost < bestCost {
+			bestCost = f.Cost
+			bestIx = ix
+			if f.IndexOnly {
+				bestOp = OpIndexOnlyScan
+			} else {
+				bestOp = OpIndexScan
+			}
+		}
+	}
+	// Even when the cheapest access is an index scan that happens to
+	// deliver an order, the Any slot advertises no pathkeys: the cached
+	// model re-prices this slot under other configurations, where the
+	// cheapest access may be unordered.
+	p.addPath(jr, &Path{
+		Op:       bestOp,
+		Rels:     jr.set,
+		Rows:     ri.Rows,
+		Cost:     bestCost,
+		Order:    nil,
+		BaseRel:  rel,
+		Index:    bestIx,
+		Internal: 0,
+		LeafCost: bestCost,
+		Leaves:   p.leavesFor(rel, LeafReq{Mode: AccessAny, Coef: 1}),
+	})
+
+	// Ordered access per interesting order covered by the configuration.
+	for _, col := range ri.Interesting {
+		best := math.Inf(1)
+		var via *catalog.Index
+		indexOnly := false
+		for _, ix := range p.configIndexes(rel) {
+			if !ix.Covers(col) {
+				continue
+			}
+			f := p.a.IndexScanCost(rel, ix)
+			if f.Cost < best {
+				best = f.Cost
+				via = ix
+				indexOnly = f.IndexOnly
+			}
+		}
+		if via == nil {
+			continue
+		}
+		op := OpIndexScan
+		if indexOnly {
+			op = OpIndexOnlyScan
+		}
+		p.addPath(jr, &Path{
+			Op:       op,
+			Rels:     jr.set,
+			Rows:     ri.Rows,
+			Cost:     best,
+			Order:    []query.ColRef{{Rel: rel, Column: col}},
+			BaseRel:  rel,
+			Index:    via,
+			Internal: 0,
+			LeafCost: best,
+			Leaves:   p.leavesFor(rel, LeafReq{Mode: AccessOrdered, Col: col, Coef: 1}),
+		})
+	}
+	return jr
+}
+
+// addPath inserts np into jr unless dominated. In normal mode dominance is
+// cheaper-or-equal total cost with a satisfying output order, applied
+// immediately against the retained list. In ExportAll mode the DP generates
+// orders of magnitude more paths, so insertion only deduplicates exactly
+// equal (leaf combo, output order) keys by internal cost; the paper's
+// subsumption pruning (§V-D) runs once per finished join relation in
+// finishRel.
+func (p *planner) addPath(jr *joinRel, np *Path) {
+	p.res.Stats.PathsConsidered++
+	if p.opt.ExportAll {
+		if jr.byKey == nil {
+			jr.byKey = make(map[string]*Path)
+		}
+		key := pathKey(np, p.opt.PreciseNLJ, p.opt.PaperPrune)
+		if old, ok := jr.byKey[key]; ok {
+			if p.opt.PaperPrune {
+				if old.Cost <= np.Cost {
+					return
+				}
+			} else if old.Internal <= np.Internal {
+				return
+			}
+		}
+		jr.byKey[key] = np
+		return
+	}
+	const fuzz = 1e-9
+	dominates := func(a, b *Path) bool {
+		return OrderSatisfies(a.Order, b.Order) && a.Cost <= b.Cost*(1+fuzz)
+	}
+	for _, old := range jr.paths {
+		if dominates(old, np) {
+			return
+		}
+	}
+	keep := jr.paths[:0]
+	for _, old := range jr.paths {
+		if !dominates(np, old) {
+			keep = append(keep, old)
+		}
+	}
+	jr.paths = append(keep, np)
+}
+
+// leavesFor builds a requirement slice with a single non-default entry.
+func (p *planner) leavesFor(rel int, req LeafReq) []LeafReq {
+	out := newLeaves(len(p.a.Rels))
+	out[rel] = req
+	return out
+}
+
+// pathKey builds the (leaf combo, output order) identity used for exact
+// deduplication in ExportAll mode. It avoids fmt for speed: this runs once
+// per generated path.
+func pathKey(p *Path, preciseNLJ, byColumn bool) string {
+	b := make([]byte, 0, 48)
+	for rel := 0; rel < len(p.Leaves); rel++ {
+		if !p.Rels.Has(rel) {
+			continue
+		}
+		req := p.Leaves[rel]
+		if req.Mode == AccessAny {
+			continue
+		}
+		mode := byte("aol"[req.Mode])
+		if byColumn {
+			mode = 'c'
+		}
+		b = append(b, byte('0'+rel), mode)
+		b = append(b, req.Col...)
+		if req.Mode == AccessLookup && preciseNLJ {
+			b = strconv.AppendFloat(b, req.Coef, 'g', -1, 64)
+		}
+		b = append(b, ';')
+	}
+	b = append(b, '|')
+	for _, c := range p.Order {
+		b = append(b, byte('0'+c.Rel), '.')
+		b = append(b, c.Column...)
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+// finishRel applies subsumption pruning to a completed join relation in
+// ExportAll mode: drop plan B when a plan A requires a subset of B's
+// interesting orders at lower-or-equal internal cost while still providing
+// B's output order.
+func (p *planner) finishRel(jr *joinRel) {
+	if !p.opt.ExportAll {
+		return
+	}
+	paths := make([]*Path, 0, len(jr.byKey))
+	keys := make([]string, 0, len(jr.byKey))
+	for k := range jr.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic results independent of map order
+	for _, k := range keys {
+		paths = append(paths, jr.byKey[k])
+	}
+	// The pruning metric is the provably-safe internal cost by default,
+	// or the paper's literal total cost under PaperPrune, which also
+	// collapses access modes: one plan per column combination.
+	metric := func(pt *Path) float64 { return pt.Internal }
+	subsumes := func(a, b *Path) bool {
+		return comboSubsumes(a.Leaves, b.Leaves, jr.set, p.opt.PreciseNLJ)
+	}
+	if p.opt.PaperPrune {
+		metric = func(pt *Path) float64 { return pt.Cost }
+		subsumes = func(a, b *Path) bool {
+			return comboSubsumesByColumn(a.Leaves, b.Leaves, jr.set)
+		}
+	}
+	// Ascending metric, so the dominator scan can stop at the first path
+	// with a larger value. Candidates are compared against every path
+	// with metric ≤ theirs — including ties and paths that are themselves
+	// dominated (domination is transitive, so a dominated dominator's own
+	// dominator also covers the candidate). Mutual domination between
+	// distinct (combo, order) keys is impossible, so this never removes
+	// both sides of a tie.
+	sort.SliceStable(paths, func(i, j int) bool { return metric(paths[i]) < metric(paths[j]) })
+	var kept []*Path
+	for i, cand := range paths {
+		dominated := false
+		for j, a := range paths {
+			if metric(a) > metric(cand) {
+				break
+			}
+			if j == i {
+				continue
+			}
+			if OrderSatisfies(a.Order, cand.Order) && subsumes(a, cand) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, cand)
+		}
+	}
+	jr.paths = kept
+	jr.byKey = nil
+}
+
+// clauseRef is a join clause oriented for a specific (outer, inner) pair.
+type clauseRef struct {
+	idx          int // index into a.Q.Joins
+	outer, inner query.ColRef
+}
+
+func (p *planner) clausesBetween(outer, inner RelSet) []clauseRef {
+	var out []clauseRef
+	for i, j := range p.a.Q.Joins {
+		switch {
+		case outer.Has(j.Left.Rel) && inner.Has(j.Right.Rel):
+			out = append(out, clauseRef{idx: i, outer: j.Left, inner: j.Right})
+		case outer.Has(j.Right.Rel) && inner.Has(j.Left.Rel):
+			out = append(out, clauseRef{idx: i, outer: j.Right, inner: j.Left})
+		}
+	}
+	return out
+}
+
+// plan runs the dynamic program over connected relation subsets and returns
+// the top join relation.
+func (p *planner) plan() (*joinRel, error) {
+	n := len(p.a.Rels)
+	rels := make(map[RelSet]*joinRel)
+	for i := 0; i < n; i++ {
+		jr := p.scanPaths(i)
+		p.finishRel(jr)
+		if len(jr.paths) == 0 {
+			return nil, fmt.Errorf("optimizer: no access path for relation %d", i)
+		}
+		rels[jr.set] = jr
+	}
+	if n == 1 {
+		p.res.Stats.JoinRels = 1
+		return rels[Single(0)], nil
+	}
+
+	full := RelSet(1<<uint(n)) - 1
+	for mask := RelSet(3); mask <= full; mask++ {
+		if mask.Count() < 2 {
+			continue
+		}
+		var jr *joinRel
+		low := RelSet(1) << uint(mask.Members()[0])
+		// Enumerate proper submasks containing the lowest bit, so each
+		// unordered split is visited once.
+		for s1 := (mask - 1) & mask; s1 > 0; s1 = (s1 - 1) & mask {
+			if s1&low == 0 {
+				continue
+			}
+			s2 := mask ^ s1
+			left, lok := rels[s1]
+			right, rok := rels[s2]
+			if !lok || !rok {
+				continue
+			}
+			if len(p.clausesBetween(s1, s2)) == 0 {
+				continue
+			}
+			if jr == nil {
+				jr = &joinRel{set: mask, rows: p.a.JoinRows(mask)}
+			}
+			p.joinPaths(jr, left, right)
+			p.joinPaths(jr, right, left)
+		}
+		if jr != nil {
+			p.finishRel(jr)
+			rels[mask] = jr
+		}
+	}
+	p.res.Stats.JoinRels = len(rels)
+	top, ok := rels[full]
+	if !ok || len(top.paths) == 0 {
+		return nil, fmt.Errorf("optimizer: join graph of query %s is disconnected", p.a.Q.Name)
+	}
+	return top, nil
+}
+
+// joinPaths emits hash, merge, and nested-loop paths joining outer × inner.
+func (p *planner) joinPaths(jr *joinRel, outer, inner *joinRel) {
+	clauses := p.clausesBetween(outer.set, inner.set)
+	if len(clauses) == 0 {
+		return
+	}
+	outRows := jr.rows
+	c := &p.a.Coster
+
+	var cheapestInner *Path
+	for _, ip := range inner.paths {
+		if cheapestInner == nil || ip.Cost < cheapestInner.Cost {
+			cheapestInner = ip
+		}
+	}
+
+	for _, op := range outer.paths {
+		for _, ip := range inner.paths {
+			// Hash join: order-insensitive, destroys ordering.
+			hc := c.HashJoinCost(op.Rows, ip.Rows, outRows)
+			p.addPath(jr, &Path{
+				Op:         OpHashJoin,
+				Rels:       jr.set,
+				Rows:       outRows,
+				Cost:       op.Cost + ip.Cost + hc,
+				Order:      nil,
+				Outer:      op,
+				Inner:      ip,
+				JoinClause: p.a.Q.Joins[clauses[0].idx],
+				Internal:   op.Internal + ip.Internal + hc,
+				LeafCost:   op.LeafCost + ip.LeafCost,
+				Leaves:     mergeLeaves(op, ip),
+			})
+
+			// Merge join per clause: inputs must be sorted on the clause
+			// columns; explicit sorts are internal enforcers.
+			for _, cl := range clauses {
+				os := p.sorted(op, cl.outer)
+				is := p.sorted(ip, cl.inner)
+				mc := c.MergeJoinCost(os.Rows, is.Rows, outRows)
+				p.addPath(jr, &Path{
+					Op:         OpMergeJoin,
+					Rels:       jr.set,
+					Rows:       outRows,
+					Cost:       os.Cost + is.Cost + mc,
+					Order:      p.usefulOrder(jr.set, os.Order),
+					Outer:      os,
+					Inner:      is,
+					JoinClause: p.a.Q.Joins[cl.idx],
+					Internal:   os.Internal + is.Internal + mc,
+					LeafCost:   os.LeafCost + is.LeafCost,
+					Leaves:     mergeLeaves(os, is),
+				})
+			}
+		}
+
+		if !p.opt.EnableNestLoop {
+			continue
+		}
+
+		// Indexed nested loop: inner must be a single base relation with
+		// a configuration index on the join column.
+		if inner.set.Count() == 1 {
+			rel := inner.set.Members()[0]
+			for _, cl := range clauses {
+				best := math.Inf(1)
+				var via *catalog.Index
+				for _, ix := range p.configIndexes(rel) {
+					if !ix.Covers(cl.inner.Column) {
+						continue
+					}
+					if lc := p.a.LookupCost(rel, ix, cl.inner.Column); lc < best {
+						best = lc
+						via = ix
+					}
+				}
+				if via == nil {
+					continue
+				}
+				coef := op.Rows
+				nc := c.NestLoopCost(op.Rows, outRows)
+				innerPath := &Path{
+					Op:      OpIndexScan,
+					Rels:    inner.set,
+					Rows:    p.a.LookupRows(rel, cl.inner.Column),
+					Cost:    best,
+					BaseRel: rel,
+					Index:   via,
+					Order:   nil,
+					Leaves:  p.leavesFor(rel, LeafReq{Mode: AccessLookup, Col: cl.inner.Column, Coef: coef}),
+				}
+				p.addPath(jr, &Path{
+					Op:         OpNestLoop,
+					Rels:       jr.set,
+					Rows:       outRows,
+					Cost:       op.Cost + coef*best + nc,
+					Order:      p.usefulOrder(jr.set, op.Order),
+					Outer:      op,
+					Inner:      innerPath,
+					JoinClause: p.a.Q.Joins[cl.idx],
+					Internal:   op.Internal + nc,
+					LeafCost:   op.LeafCost + coef*best,
+					Leaves:     mergeLeaves(op, innerPath),
+				})
+			}
+		}
+
+		// Materialised nested loop: rescan a materialised inner per outer
+		// row. Only the cheapest inner is considered (the rescan cost
+		// depends only on the inner's cardinality).
+		if cheapestInner != nil {
+			ip := cheapestInner
+			rescan := (math.Max(op.Rows, 1) - 1) * c.MaterialRescanCost(ip.Rows)
+			pairs := op.Rows * ip.Rows * c.P.CPUOperatorCost * float64(len(clauses))
+			nc := c.NestLoopCost(op.Rows, outRows) + rescan + pairs
+			p.addPath(jr, &Path{
+				Op:         OpNestLoopMat,
+				Rels:       jr.set,
+				Rows:       outRows,
+				Cost:       op.Cost + ip.Cost + nc,
+				Order:      p.usefulOrder(jr.set, op.Order),
+				Outer:      op,
+				Inner:      ip,
+				JoinClause: p.a.Q.Joins[clauses[0].idx],
+				Internal:   op.Internal + ip.Internal + nc,
+				LeafCost:   op.LeafCost + ip.LeafCost,
+				Leaves:     mergeLeaves(op, ip),
+			})
+		}
+	}
+}
+
+// usefulOrder trims a path's advertised sort order to orders that can still
+// matter above this relation set: a future merge join on a clause crossing
+// to the set's complement, or the query's grouping/ordering columns. This
+// mirrors PostgreSQL's canonical-pathkey usefulness test and collapses
+// otherwise-identical plans whose orders can never be exploited again.
+func (p *planner) usefulOrder(set RelSet, order []query.ColRef) []query.ColRef {
+	if len(order) == 0 {
+		return nil
+	}
+	lead := order[0]
+	for _, g := range p.a.Q.GroupBy {
+		if g == lead {
+			return order
+		}
+	}
+	for _, o := range p.a.Q.OrderBy {
+		if o == lead {
+			return order
+		}
+	}
+	for _, j := range p.a.Q.Joins {
+		if j.Left == lead && !set.Has(j.Right.Rel) {
+			return order
+		}
+		if j.Right == lead && !set.Has(j.Left.Rel) {
+			return order
+		}
+	}
+	return nil
+}
+
+// sorted returns path if it already delivers col-order, else wraps it in an
+// explicit (internal-cost) sort.
+func (p *planner) sorted(path *Path, col query.ColRef) *Path {
+	want := []query.ColRef{col}
+	if OrderSatisfies(path.Order, want) {
+		return path
+	}
+	return p.sortPath(path, want)
+}
+
+func (p *planner) sortPath(child *Path, keys []query.ColRef) *Path {
+	sc := p.a.Coster.SortCost(child.Rows)
+	return &Path{
+		Op:       OpSort,
+		Rels:     child.Rels,
+		Rows:     child.Rows,
+		Cost:     child.Cost + sc,
+		Order:    keys,
+		Child:    child,
+		SortKeys: keys,
+		Internal: child.Internal + sc,
+		LeafCost: child.LeafCost,
+		Leaves:   child.Leaves,
+	}
+}
+
+// orderCoversGroup reports whether the path order's prefix is exactly the
+// group-by column set (grouping is order-insensitive across its columns).
+func orderCoversGroup(order []query.ColRef, group []query.ColRef) bool {
+	if len(order) < len(group) {
+		return false
+	}
+	want := make(map[query.ColRef]bool, len(group))
+	for _, g := range group {
+		want[g] = true
+	}
+	for i := 0; i < len(group); i++ {
+		if !want[order[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// finalize runs the grouping planner (paper §III): aggregation for GROUP BY
+// and a final sort for ORDER BY, producing the complete-plan candidates.
+func (p *planner) finalize(paths []*Path) []*Path {
+	q := p.a.Q
+	out := &joinRel{set: paths[0].Rels}
+	c := &p.a.Coster
+
+	finish := func(path *Path) {
+		if len(q.OrderBy) > 0 && !OrderSatisfies(path.Order, q.OrderBy) {
+			path = p.sortPath(path, q.OrderBy)
+		}
+		p.addPath(out, path)
+	}
+
+	for _, path := range paths {
+		if len(q.GroupBy) == 0 {
+			finish(path)
+			continue
+		}
+		groups := p.a.GroupCount(q.GroupBy, path.Rows)
+
+		// Hash aggregation: no input-order requirement, output unordered.
+		hc := c.HashAggCost(path.Rows, groups, len(q.GroupBy))
+		finish(&Path{
+			Op:       OpHashAgg,
+			Rels:     path.Rels,
+			Rows:     groups,
+			Cost:     path.Cost + hc,
+			Order:    nil,
+			Child:    path,
+			Internal: path.Internal + hc,
+			LeafCost: path.LeafCost,
+			Leaves:   path.Leaves,
+		})
+
+		// Sorted aggregation: requires group-column order, preserves it.
+		in := path
+		if !orderCoversGroup(in.Order, q.GroupBy) {
+			in = p.sortPath(in, q.GroupBy)
+		}
+		gc := c.SortedAggCost(in.Rows, groups, len(q.GroupBy))
+		finish(&Path{
+			Op:       OpSortedAgg,
+			Rels:     in.Rels,
+			Rows:     groups,
+			Cost:     in.Cost + gc,
+			Order:    in.Order,
+			Child:    in,
+			Internal: in.Internal + gc,
+			LeafCost: in.LeafCost,
+			Leaves:   in.Leaves,
+		})
+	}
+	p.finishRel(out)
+	p.res.Stats.PathsRetained = len(out.paths)
+	return out.paths
+}
+
+// collectAccessCosts implements the §V-C hook: report the access cost of
+// every configuration index on every relation, instead of discarding all
+// but the cheapest.
+func (p *planner) collectAccessCosts() {
+	for rel := range p.a.Rels {
+		ri := &p.a.Rels[rel]
+		interesting := make(map[string]bool, len(ri.Interesting))
+		for _, col := range ri.Interesting {
+			interesting[col] = true
+		}
+		for _, ix := range p.configIndexes(rel) {
+			f := p.a.IndexScanCost(rel, ix)
+			ia := IndexAccess{
+				Rel:       rel,
+				Index:     ix,
+				ScanCost:  f.Cost,
+				IndexOnly: f.IndexOnly,
+			}
+			if interesting[ix.LeadColumn()] {
+				ia.OrderCol = ix.LeadColumn()
+				ia.LookupCost = p.a.LookupCost(rel, ix, ix.LeadColumn())
+			}
+			p.res.AccessCosts = append(p.res.AccessCosts, ia)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/query"
+)
+
+// RelSet is a bitset of base-relation indices within one query. Queries are
+// limited to 64 relations, far beyond the DP join planner's practical reach.
+type RelSet uint64
+
+// Single returns the set containing only relation i.
+func Single(i int) RelSet { return RelSet(1) << uint(i) }
+
+// Has reports membership.
+func (s RelSet) Has(i int) bool { return s&Single(i) != 0 }
+
+// Union returns s ∪ t.
+func (s RelSet) Union(t RelSet) RelSet { return s | t }
+
+// Intersects reports whether the sets overlap.
+func (s RelSet) Intersects(t RelSet) bool { return s&t != 0 }
+
+// Count returns the cardinality.
+func (s RelSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Members returns the member indices in ascending order.
+func (s RelSet) Members() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, i)
+		v &^= 1 << uint(i)
+	}
+	return out
+}
+
+// Op identifies a physical operator in a path/plan tree.
+type Op int
+
+const (
+	OpSeqScan Op = iota
+	OpIndexScan
+	OpIndexOnlyScan
+	OpSort
+	OpHashJoin
+	OpMergeJoin
+	OpNestLoop    // nested loop with parameterized inner index lookup
+	OpNestLoopMat // nested loop over a materialised inner
+	OpHashAgg
+	OpSortedAgg
+)
+
+// String returns the EXPLAIN name of the operator.
+func (op Op) String() string {
+	switch op {
+	case OpSeqScan:
+		return "Seq Scan"
+	case OpIndexScan:
+		return "Index Scan"
+	case OpIndexOnlyScan:
+		return "Index Only Scan"
+	case OpSort:
+		return "Sort"
+	case OpHashJoin:
+		return "Hash Join"
+	case OpMergeJoin:
+		return "Merge Join"
+	case OpNestLoop:
+		return "Nested Loop"
+	case OpNestLoopMat:
+		return "Nested Loop (materialized)"
+	case OpHashAgg:
+		return "HashAggregate"
+	case OpSortedAgg:
+		return "GroupAggregate"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// AccessMode describes how a cached plan's leaf reads a base relation at
+// cost-model evaluation time.
+type AccessMode int
+
+const (
+	// AccessAny reads the relation with whatever access path is cheapest
+	// under the configuration (seq scan or any index).
+	AccessAny AccessMode = iota
+	// AccessOrdered reads the relation in the order of column Col; it
+	// requires a configuration index whose leading column is Col.
+	AccessOrdered
+	// AccessLookup probes the relation by equality on Col once per outer
+	// row (nested-loop inner); it requires an index leading on Col.
+	AccessLookup
+)
+
+func (m AccessMode) String() string {
+	switch m {
+	case AccessAny:
+		return "any"
+	case AccessOrdered:
+		return "ordered"
+	case AccessLookup:
+		return "lookup"
+	default:
+		return fmt.Sprintf("AccessMode(%d)", int(m))
+	}
+}
+
+// LeafReq is a cached plan's requirement on one base relation: the access
+// mode, the relevant column, and the multiplier applied to the access cost
+// (1 for scans, the outer row count for nested-loop lookups).
+type LeafReq struct {
+	Mode AccessMode
+	Col  string
+	Coef float64
+}
+
+// Path is a node in the optimizer's path tree. Paths double as executable
+// plans: the executor interprets them directly.
+type Path struct {
+	Op   Op
+	Rels RelSet
+	Rows float64
+	Cost float64 // total cost under the planning-time configuration
+
+	// Order is the sort order the path's output provides (pathkeys).
+	Order []query.ColRef
+
+	// Base scans.
+	BaseRel int
+	Index   *catalog.Index
+
+	// Joins.
+	Outer, Inner *Path
+	JoinClause   query.Join // clause driving merge/NLJ pairing
+
+	// Sort and aggregation.
+	Child    *Path
+	SortKeys []query.ColRef
+
+	// INUM decomposition, maintained bottom-up:
+	// Cost == Internal + Σ_i Leaves[i].Coef × leaf access cost_i, where
+	// Internal covers joins, sorts and aggregation — everything that
+	// depends only on row counts, not on access methods.
+	Internal float64
+	// LeafCost is Σ coef × access cost under the planning configuration.
+	LeafCost float64
+	// Leaves holds one requirement per query relation (len = number of
+	// relations in the query); entries for relations outside Rels are
+	// the zero requirement and must be ignored.
+	Leaves []LeafReq
+}
+
+// LeafCombo derives the interesting order combination this path requires:
+// one entry per query relation, "" (Φ) for AccessAny or absent relations,
+// the column for AccessOrdered and AccessLookup.
+func (p *Path) LeafCombo(nRels int) query.OrderCombo {
+	combo := make(query.OrderCombo, nRels)
+	for rel := 0; rel < nRels && rel < len(p.Leaves); rel++ {
+		if p.Rels.Has(rel) && p.Leaves[rel].Mode != AccessAny {
+			combo[rel] = p.Leaves[rel].Col
+		}
+	}
+	return combo
+}
+
+// OrderSatisfies reports whether the order provided by `have` satisfies the
+// requirement `want` (prefix semantics, as with PostgreSQL pathkeys).
+func OrderSatisfies(have, want []query.ColRef) bool {
+	if len(want) > len(have) {
+		return false
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Signature returns a canonical structural identity for the path tree,
+// excluding costs. Two paths with equal signatures are the same plan; the
+// paper's §IV redundancy analysis counts unique signatures.
+func (p *Path) Signature() string {
+	var b strings.Builder
+	p.writeSig(&b)
+	return b.String()
+}
+
+func (p *Path) writeSig(b *strings.Builder) {
+	switch p.Op {
+	case OpSeqScan, OpIndexScan, OpIndexOnlyScan:
+		// Identify base accesses by their INUM slot (mode + column), not
+		// by operator or index name: under the cached model a leaf is an
+		// access requirement, and interchangeable physical accesses are
+		// the same plan.
+		req := p.Leaves[p.BaseRel]
+		switch req.Mode {
+		case AccessOrdered:
+			fmt.Fprintf(b, "ord(%d:%s)", p.BaseRel, req.Col)
+		case AccessLookup:
+			fmt.Fprintf(b, "lookup(%d:%s)", p.BaseRel, req.Col)
+		default:
+			fmt.Fprintf(b, "any(%d)", p.BaseRel)
+		}
+	case OpSort:
+		b.WriteString("sort[")
+		for i, k := range p.SortKeys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k.String())
+		}
+		b.WriteString("](")
+		p.Child.writeSig(b)
+		b.WriteString(")")
+	case OpHashJoin, OpMergeJoin, OpNestLoop, OpNestLoopMat:
+		switch p.Op {
+		case OpHashJoin:
+			b.WriteString("hj(")
+		case OpMergeJoin:
+			b.WriteString("mj(")
+		case OpNestLoop:
+			b.WriteString("nl(")
+		default:
+			b.WriteString("nlm(")
+		}
+		p.Outer.writeSig(b)
+		b.WriteByte(',')
+		p.Inner.writeSig(b)
+		b.WriteString(")")
+	case OpHashAgg:
+		b.WriteString("hagg(")
+		p.Child.writeSig(b)
+		b.WriteString(")")
+	case OpSortedAgg:
+		b.WriteString("gagg(")
+		p.Child.writeSig(b)
+		b.WriteString(")")
+	}
+}
+
+// newLeaves returns a fresh all-AccessAny requirement slice for n
+// relations.
+func newLeaves(n int) []LeafReq {
+	out := make([]LeafReq, n)
+	for i := range out {
+		out[i].Coef = 1
+	}
+	return out
+}
+
+// mergeLeaves merges the requirements of two disjoint-relation paths into a
+// fresh slice: outer's entries plus inner's entries for inner's members.
+func mergeLeaves(outer, inner *Path) []LeafReq {
+	out := make([]LeafReq, len(outer.Leaves))
+	copy(out, outer.Leaves)
+	for rel := range out {
+		if inner.Rels.Has(rel) {
+			out[rel] = inner.Leaves[rel]
+		}
+	}
+	return out
+}
+
+// comboSubsumes reports whether plan a's leaf requirements are dominated by
+// plan b's in the paper's §V-D sense: under every configuration where b is
+// applicable, a is applicable and a's total leaf access charge is no larger.
+// Concretely, per relation of the (shared) relation set:
+//
+//   - b requires Ordered: a may require Any (an unordered access is never
+//     costlier than an ordered one under the same configuration) or the
+//     identical Ordered column;
+//   - b requires Lookup: a must require a Lookup on the same column; with
+//     preciseNLJ, a's probe count must additionally be no larger than b's
+//     (the paper's §V-D "higher accuracy, bigger plan cache" refinement —
+//     without it, nested-loop plans differing only in probe count collapse,
+//     which is the paper's default, approximate treatment of NLJ);
+//   - b requires Any: a must also require Any (a more demanding a cannot be
+//     shown cheaper).
+func comboSubsumes(a, b []LeafReq, rels RelSet, preciseNLJ bool) bool {
+	for rel := 0; rel < len(a); rel++ {
+		if !rels.Has(rel) {
+			continue
+		}
+		ra, rb := a[rel], b[rel]
+		switch rb.Mode {
+		case AccessOrdered:
+			if ra.Mode == AccessAny {
+				continue
+			}
+			if ra.Mode != AccessOrdered || ra.Col != rb.Col {
+				return false
+			}
+		case AccessLookup:
+			if ra.Mode != AccessLookup || ra.Col != rb.Col {
+				return false
+			}
+			if preciseNLJ && ra.Coef > rb.Coef {
+				return false
+			}
+		default: // AccessAny
+			if ra.Mode != AccessAny {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// comboSubsumesByColumn is the paper's coarser §V-D subsumption: a
+// combination slot is only the column an index must lead on; whether the
+// plan consumes it as an ordered scan or a nested-loop probe is not
+// distinguished. Plan a subsumes b when every a slot is Φ or names the
+// same column as b's slot.
+func comboSubsumesByColumn(a, b []LeafReq, rels RelSet) bool {
+	for rel := 0; rel < len(a); rel++ {
+		if !rels.Has(rel) {
+			continue
+		}
+		ra, rb := a[rel], b[rel]
+		if ra.Mode == AccessAny {
+			continue
+		}
+		if rb.Mode == AccessAny || ra.Col != rb.Col {
+			return false
+		}
+	}
+	return true
+}

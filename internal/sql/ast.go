@@ -1,0 +1,162 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColumnExpr is a possibly-qualified column reference in the AST.
+type ColumnExpr struct {
+	Qualifier string // table name or alias; may be empty
+	Name      string
+	Pos       int
+}
+
+func (c ColumnExpr) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// TableExpr is one FROM-list entry.
+type TableExpr struct {
+	Name  string
+	Alias string
+	Pos   int
+}
+
+func (t TableExpr) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// PredKind distinguishes WHERE-clause conjunct forms.
+type PredKind int
+
+const (
+	// PredCompare is column <op> literal.
+	PredCompare PredKind = iota
+	// PredJoin is column = column.
+	PredJoin
+	// PredBetween is column BETWEEN literal AND literal.
+	PredBetween
+)
+
+// CompareOp is the comparison operator of a PredCompare.
+type CompareOp int
+
+const (
+	OpEq CompareOp = iota
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CompareOp(%d)", int(op))
+	}
+}
+
+// Predicate is one WHERE conjunct.
+type Predicate struct {
+	Kind  PredKind
+	Left  ColumnExpr
+	Op    CompareOp  // for PredCompare
+	Right ColumnExpr // for PredJoin
+	Value int64      // for PredCompare / PredBetween low bound
+	Hi    int64      // for PredBetween high bound
+	Pos   int
+}
+
+func (p Predicate) String() string {
+	switch p.Kind {
+	case PredJoin:
+		return fmt.Sprintf("%s = %s", p.Left, p.Right)
+	case PredBetween:
+		return fmt.Sprintf("%s BETWEEN %d AND %d", p.Left, p.Value, p.Hi)
+	default:
+		return fmt.Sprintf("%s %s %d", p.Left, p.Op, p.Value)
+	}
+}
+
+// SelectStmt is the parsed form of a supported query.
+type SelectStmt struct {
+	Distinct bool
+	Columns  []ColumnExpr // empty means SELECT *
+	Star     bool
+	From     []TableExpr
+	Where    []Predicate // conjuncts
+	GroupBy  []ColumnExpr
+	OrderBy  []ColumnExpr
+	Text     string // original SQL
+}
+
+// String reconstructs a canonical SQL rendering of the statement.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Star {
+		b.WriteString("*")
+	} else {
+		for i, c := range s.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if len(s.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range s.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, c := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,217 @@
+// Package sql implements the SQL front end for the subset of SQL the
+// optimizer plans: SELECT-project-join queries with conjunctive WHERE
+// clauses, GROUP BY and ORDER BY. It provides a lexer, a recursive-descent
+// parser producing an AST, and a binder that resolves the AST against a
+// catalog into the internal/query model.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokComma
+	TokDot
+	TokLParen
+	TokRParen
+	TokStar
+	TokEq
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokNe
+	TokKeyword
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokComma:
+		return "','"
+	case TokDot:
+		return "'.'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokStar:
+		return "'*'"
+	case TokEq:
+		return "'='"
+	case TokLt:
+		return "'<'"
+	case TokLe:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGe:
+		return "'>='"
+	case TokNe:
+		return "'<>'"
+	case TokKeyword:
+		return "keyword"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // identifier/keyword text (keywords upper-cased), number literal, or string body
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"GROUP": true, "ORDER": true, "BY": true, "BETWEEN": true,
+	"AS": true, "ASC": true, "DESC": true, "DISTINCT": true,
+}
+
+// Lexer tokenises a SQL string.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token or an error on malformed input.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpace()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: lx.pos}, nil
+	}
+	start := lx.pos
+	ch := lx.src[lx.pos]
+	switch {
+	case ch == ',':
+		lx.pos++
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case ch == '.':
+		lx.pos++
+		return Token{Kind: TokDot, Text: ".", Pos: start}, nil
+	case ch == '(':
+		lx.pos++
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case ch == ')':
+		lx.pos++
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case ch == '*':
+		lx.pos++
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case ch == '=':
+		lx.pos++
+		return Token{Kind: TokEq, Text: "=", Pos: start}, nil
+	case ch == '<':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+			return Token{Kind: TokLe, Text: "<=", Pos: start}, nil
+		}
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '>' {
+			lx.pos++
+			return Token{Kind: TokNe, Text: "<>", Pos: start}, nil
+		}
+		return Token{Kind: TokLt, Text: "<", Pos: start}, nil
+	case ch == '>':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+			return Token{Kind: TokGe, Text: ">=", Pos: start}, nil
+		}
+		return Token{Kind: TokGt, Text: ">", Pos: start}, nil
+	case ch == '\'':
+		lx.pos++
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '\'' {
+			lx.pos++
+		}
+		if lx.pos >= len(lx.src) {
+			return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+		}
+		body := lx.src[start+1 : lx.pos]
+		lx.pos++
+		return Token{Kind: TokString, Text: body, Pos: start}, nil
+	case ch == '-' || isDigit(ch):
+		lx.pos++
+		if ch == '-' && (lx.pos >= len(lx.src) || !isDigit(lx.src[lx.pos])) {
+			return Token{}, fmt.Errorf("sql: stray '-' at offset %d", start)
+		}
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Pos: start}, nil
+	case isIdentStart(rune(ch)):
+		lx.pos++
+		for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		word := lx.src[start:lx.pos]
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return Token{Kind: TokKeyword, Text: upper, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start}, nil
+	default:
+		return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", ch, start)
+	}
+}
+
+func (lx *Lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		ch := lx.src[lx.pos]
+		if ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' {
+			lx.pos++
+			continue
+		}
+		// -- line comments
+		if ch == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-' {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isDigit(ch byte) bool { return ch >= '0' && ch <= '9' }
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+
+func isIdentPart(r rune) bool { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// Tokenize lexes the whole input, returning all tokens up to and including
+// the EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

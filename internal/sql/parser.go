@@ -1,0 +1,287 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF) {
+		return nil, p.errorf("unexpected trailing input starting with %s", p.cur().Kind)
+	}
+	stmt.Text = src
+	return stmt, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) at(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.describe())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *Parser) describe() string {
+	t := p.cur()
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+func (p *Parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	if p.atKeyword("DISTINCT") {
+		p.advance()
+		stmt.Distinct = true
+	}
+	if p.at(TokStar) {
+		p.advance()
+		stmt.Star = true
+	} else {
+		cols, err := p.parseColumnList()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = cols
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseFromList()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	if p.atKeyword("WHERE") {
+		p.advance()
+		preds, err := p.parseConjuncts()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = preds
+	}
+	if p.atKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		cols, err := p.parseColumnList()
+		if err != nil {
+			return nil, err
+		}
+		stmt.GroupBy = cols
+	}
+	if p.atKeyword("ORDER") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		cols, err := p.parseOrderList()
+		if err != nil {
+			return nil, err
+		}
+		stmt.OrderBy = cols
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseColumnList() ([]ColumnExpr, error) {
+	var cols []ColumnExpr
+	for {
+		c, err := p.parseColumn()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if !p.at(TokComma) {
+			return cols, nil
+		}
+		p.advance()
+	}
+}
+
+func (p *Parser) parseOrderList() ([]ColumnExpr, error) {
+	var cols []ColumnExpr
+	for {
+		c, err := p.parseColumn()
+		if err != nil {
+			return nil, err
+		}
+		// ASC/DESC accepted and normalised away: the engine sorts
+		// ascending, which preserves all plan-choice behaviour.
+		if p.atKeyword("ASC") || p.atKeyword("DESC") {
+			p.advance()
+		}
+		cols = append(cols, c)
+		if !p.at(TokComma) {
+			return cols, nil
+		}
+		p.advance()
+	}
+}
+
+func (p *Parser) parseColumn() (ColumnExpr, error) {
+	if !p.at(TokIdent) {
+		return ColumnExpr{}, p.errorf("expected column name, found %s", p.describe())
+	}
+	first := p.advance()
+	if p.at(TokDot) {
+		p.advance()
+		if !p.at(TokIdent) {
+			return ColumnExpr{}, p.errorf("expected column name after %q.", first.Text)
+		}
+		second := p.advance()
+		return ColumnExpr{Qualifier: first.Text, Name: second.Text, Pos: first.Pos}, nil
+	}
+	return ColumnExpr{Name: first.Text, Pos: first.Pos}, nil
+}
+
+func (p *Parser) parseFromList() ([]TableExpr, error) {
+	var from []TableExpr
+	for {
+		if !p.at(TokIdent) {
+			return nil, p.errorf("expected table name, found %s", p.describe())
+		}
+		t := p.advance()
+		te := TableExpr{Name: t.Text, Pos: t.Pos}
+		if p.atKeyword("AS") {
+			p.advance()
+			if !p.at(TokIdent) {
+				return nil, p.errorf("expected alias after AS")
+			}
+			te.Alias = p.advance().Text
+		} else if p.at(TokIdent) {
+			te.Alias = p.advance().Text
+		}
+		from = append(from, te)
+		if !p.at(TokComma) {
+			return from, nil
+		}
+		p.advance()
+	}
+}
+
+func (p *Parser) parseConjuncts() ([]Predicate, error) {
+	var preds []Predicate
+	for {
+		pr, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pr)
+		if !p.atKeyword("AND") {
+			return preds, nil
+		}
+		p.advance()
+	}
+}
+
+func (p *Parser) parsePredicate() (Predicate, error) {
+	left, err := p.parseColumn()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if p.atKeyword("BETWEEN") {
+		p.advance()
+		lo, err := p.parseNumber()
+		if err != nil {
+			return Predicate{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return Predicate{}, err
+		}
+		hi, err := p.parseNumber()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Kind: PredBetween, Left: left, Value: lo, Hi: hi, Pos: left.Pos}, nil
+	}
+	var op CompareOp
+	switch p.cur().Kind {
+	case TokEq:
+		op = OpEq
+	case TokLt:
+		op = OpLt
+	case TokLe:
+		op = OpLe
+	case TokGt:
+		op = OpGt
+	case TokGe:
+		op = OpGe
+	default:
+		return Predicate{}, p.errorf("expected comparison operator, found %s", p.describe())
+	}
+	p.advance()
+
+	if p.at(TokNumber) {
+		v, err := p.parseNumber()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Kind: PredCompare, Left: left, Op: op, Value: v, Pos: left.Pos}, nil
+	}
+	// column = column join predicate; only equality joins are supported.
+	if op != OpEq {
+		return Predicate{}, p.errorf("only equality joins are supported")
+	}
+	right, err := p.parseColumn()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Kind: PredJoin, Left: left, Right: right, Pos: left.Pos}, nil
+}
+
+func (p *Parser) parseNumber() (int64, error) {
+	if !p.at(TokNumber) {
+		return 0, p.errorf("expected number, found %s", p.describe())
+	}
+	t := p.advance()
+	v, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, p.errorf("bad number %q: %v", t.Text, err)
+	}
+	return v, nil
+}

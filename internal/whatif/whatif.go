@@ -1,0 +1,139 @@
+// Package whatif implements hypothetical-index sessions: the paper's §V-A
+// what-if interface. A session creates and drops indexes that exist only as
+// statistics (leaf-page size estimates from average attribute widths and
+// row counts), and packages index sets into configurations the optimizer
+// can plan under.
+package whatif
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/storage"
+)
+
+// Session manages hypothetical indexes over a base catalog. It never
+// mutates the base catalog: hypothetical indexes live only in the session.
+type Session struct {
+	base    *catalog.Catalog
+	hypo    map[string]*catalog.Index // by name
+	byKey   map[string]*catalog.Index // by canonical table(cols) key
+	counter int
+}
+
+// NewSession returns an empty what-if session over cat.
+func NewSession(cat *catalog.Catalog) *Session {
+	return &Session{
+		base:  cat,
+		hypo:  make(map[string]*catalog.Index),
+		byKey: make(map[string]*catalog.Index),
+	}
+}
+
+// CreateIndex declares a hypothetical index on table(columns...) and
+// returns its descriptor. Declaring the same key twice returns the existing
+// descriptor, mirroring how what-if interfaces deduplicate candidates.
+func (s *Session) CreateIndex(table string, columns ...string) (*catalog.Index, error) {
+	t := s.base.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("whatif: unknown table %q", table)
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("whatif: index on %q needs at least one column", table)
+	}
+	seen := make(map[string]bool, len(columns))
+	for _, col := range columns {
+		if t.Column(col) == nil {
+			return nil, fmt.Errorf("whatif: unknown column %s.%s", table, col)
+		}
+		if seen[col] {
+			return nil, fmt.Errorf("whatif: duplicate column %q in index on %q", col, table)
+		}
+		seen[col] = true
+	}
+	key := table + "(" + join(columns) + ")"
+	if ix, ok := s.byKey[key]; ok {
+		return ix, nil
+	}
+	s.counter++
+	name := fmt.Sprintf("hypo_%s_%d", table, s.counter)
+	ix := storage.HypotheticalIndex(name, t, columns)
+	s.hypo[name] = ix
+	s.byKey[key] = ix
+	return ix, nil
+}
+
+// DropIndex removes a hypothetical index by name.
+func (s *Session) DropIndex(name string) bool {
+	ix, ok := s.hypo[name]
+	if !ok {
+		return false
+	}
+	delete(s.hypo, name)
+	delete(s.byKey, ix.Key())
+	return true
+}
+
+// Indexes returns all hypothetical indexes, sorted by name.
+func (s *Session) Indexes() []*catalog.Index {
+	out := make([]*catalog.Index, 0, len(s.hypo))
+	for _, ix := range s.hypo {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Config bundles the given indexes (hypothetical or real) into a planning
+// configuration.
+func Config(indexes ...*catalog.Index) *query.Config {
+	return &query.Config{Indexes: indexes}
+}
+
+// AllConfig returns the configuration holding every session index plus any
+// extra indexes given — the "all interesting orders covered" configuration
+// PINUM optimizes under.
+func (s *Session) AllConfig(extra ...*catalog.Index) *query.Config {
+	return &query.Config{Indexes: append(s.Indexes(), extra...)}
+}
+
+// CoveringConfig builds an atomic configuration covering the interesting
+// order combination oc of query q: one single-column hypothetical index per
+// non-Φ slot. This is how INUM's cache construction asks its per-combination
+// what-if questions.
+func (s *Session) CoveringConfig(q *query.Query, oc query.OrderCombo) (*query.Config, error) {
+	cfg := &query.Config{}
+	perTable := make(map[string]bool)
+	for i, col := range oc {
+		if col == "" {
+			continue
+		}
+		table := q.Rels[i].Table.Name
+		if perTable[table] {
+			// Self-join slots share the table's physical indexes; one
+			// index cannot cover two different orders, so such combos
+			// are handled table-by-table.
+			continue
+		}
+		ix, err := s.CreateIndex(table, col)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Indexes = append(cfg.Indexes, ix)
+		perTable[table] = true
+	}
+	return cfg, nil
+}
+
+func join(cols []string) string {
+	out := ""
+	for i, c := range cols {
+		if i > 0 {
+			out += ","
+		}
+		out += c
+	}
+	return out
+}

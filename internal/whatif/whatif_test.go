@@ -1,0 +1,126 @@
+package whatif
+
+import (
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/catalog"
+)
+
+func cat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	tb := &catalog.Table{Name: "t", RowCount: 1_000_000}
+	for _, n := range []string{"id", "a", "b"} {
+		tb.Columns = append(tb.Columns, &catalog.Column{Name: n, Type: catalog.Int, NDV: 1000, Min: 1, Max: 1000})
+	}
+	if err := c.AddTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCreateIndexProperties(t *testing.T) {
+	s := NewSession(cat(t))
+	ix, err := s.CreateIndex("t", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Hypothetical {
+		t.Error("session index not hypothetical")
+	}
+	if ix.LeafPages <= 0 {
+		t.Error("no leaf page estimate")
+	}
+	if ix.InternalPages != 0 {
+		t.Error("what-if index has internal pages (§V-A says ignore them)")
+	}
+	if !ix.Covers("a") || ix.Covers("b") {
+		t.Error("Covers semantics wrong")
+	}
+}
+
+func TestCreateIndexDeduplicates(t *testing.T) {
+	s := NewSession(cat(t))
+	a, err := s.CreateIndex("t", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.CreateIndex("t", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same key produced distinct descriptors")
+	}
+	c, err := s.CreateIndex("t", "b", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different column order deduplicated")
+	}
+	if len(s.Indexes()) != 2 {
+		t.Errorf("session has %d indexes, want 2", len(s.Indexes()))
+	}
+}
+
+func TestCreateIndexValidation(t *testing.T) {
+	s := NewSession(cat(t))
+	if _, err := s.CreateIndex("missing", "a"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := s.CreateIndex("t"); err == nil {
+		t.Error("empty column list accepted")
+	}
+	if _, err := s.CreateIndex("t", "zz"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := s.CreateIndex("t", "a", "a"); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestDropIndex(t *testing.T) {
+	s := NewSession(cat(t))
+	ix, err := s.CreateIndex("t", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.DropIndex(ix.Name) {
+		t.Error("drop returned false")
+	}
+	if s.DropIndex(ix.Name) {
+		t.Error("double drop returned true")
+	}
+	if len(s.Indexes()) != 0 {
+		t.Error("index survived drop")
+	}
+	// Re-creating after drop yields a fresh descriptor.
+	if _, err := s.CreateIndex("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionDoesNotTouchBaseCatalog(t *testing.T) {
+	c := cat(t)
+	s := NewSession(c)
+	if _, err := s.CreateIndex("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.AllIndexes()) != 0 {
+		t.Error("hypothetical index leaked into the base catalog")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	s := NewSession(cat(t))
+	ix, _ := s.CreateIndex("t", "a")
+	cfg := Config(ix)
+	if len(cfg.Indexes) != 1 {
+		t.Error("Config helper wrong")
+	}
+	all := s.AllConfig()
+	if len(all.Indexes) != 1 {
+		t.Error("AllConfig wrong")
+	}
+}

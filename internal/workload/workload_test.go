@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/storage"
+	"github.com/pinumdb/pinum/internal/whatif"
+)
+
+func TestStarSchemaShape(t *testing.T) {
+	s, err := StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Dims) != 28 {
+		t.Errorf("%d dimension tables, want 28 (paper §VI-A)", len(s.Dims))
+	}
+	if s.Fact == nil || s.Fact.RowCount != factRowsScale1 {
+		t.Error("fact table missing or mis-sized")
+	}
+	// Every foreign key resolves and has matching NDV.
+	for _, tb := range s.Catalog.Tables() {
+		for _, fk := range tb.ForeignKeys {
+			ref := s.Catalog.Table(fk.RefTable)
+			if ref == nil {
+				t.Fatalf("%s.%s references unknown %s", tb.Name, fk.Column, fk.RefTable)
+			}
+			if col := tb.Column(fk.Column); col.NDV != ref.RowCount {
+				t.Errorf("%s.%s NDV %d != %s rows %d", tb.Name, fk.Column, col.NDV, ref.Name, ref.RowCount)
+			}
+		}
+	}
+	// The database totals ≈10 GB at scale 1.
+	var bytes int64
+	for _, tb := range s.Catalog.Tables() {
+		bytes += storage.TableBytes(tb)
+	}
+	gb := storage.GigaBytes(bytes)
+	if gb < 8 || gb > 12 {
+		t.Errorf("database is %.1f GB, want ≈10 GB", gb)
+	}
+}
+
+func TestStarSchemaScaleValidation(t *testing.T) {
+	if _, err := StarSchema(0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := StarSchema(-1); err == nil {
+		t.Error("negative scale accepted")
+	}
+	small, err := StarSchema(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Fact.RowCount >= factRowsScale1/500 {
+		t.Error("scaling did not reduce the fact table")
+	}
+}
+
+func TestQueriesDeterministicAndValid(t *testing.T) {
+	s, err := StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q1) != 10 {
+		t.Fatalf("%d queries, want 10", len(q1))
+	}
+	for i := range q1 {
+		if q1[i].SQL != q2[i].SQL {
+			t.Errorf("query %d not deterministic", i)
+		}
+		if err := q1[i].Validate(); err != nil {
+			t.Errorf("query %d invalid: %v", i, err)
+		}
+		if !q1[i].JoinGraphConnected() {
+			t.Errorf("query %d disconnected", i)
+		}
+		if len(q1[i].OrderBy) == 0 {
+			t.Errorf("query %d misses ORDER BY (paper: all queries order)", i)
+		}
+	}
+	// Sizes ascend from 2 to 7 tables.
+	if len(q1[0].Rels) != 2 || len(q1[9].Rels) != 7 {
+		t.Errorf("table counts: Q1=%d Q10=%d", len(q1[0].Rels), len(q1[9].Rels))
+	}
+	// Different seeds produce different workloads.
+	q3, err := s.Queries(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range q1 {
+		if q1[i].SQL == q3[i].SQL {
+			same++
+		}
+	}
+	if same == len(q1) {
+		t.Error("seed does not vary the workload")
+	}
+}
+
+func TestFiltersAreOnePercentSelective(t *testing.T) {
+	s, err := StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		for _, f := range q.Filters {
+			span := f.Value2 - f.Value + 1
+			sel := float64(span) / float64(AttrDomain)
+			if sel < 0.005 || sel > 0.02 {
+				t.Errorf("%s: filter %s has %.3f selectivity, want ≈1%%", q.Name, f, sel)
+			}
+		}
+	}
+}
+
+func TestQ5AnalogueStructure(t *testing.T) {
+	s, err := StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Q5Analogue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rels) != 6 {
+		t.Errorf("%d relations, want 6 (TPC-H Q5 joins 6 tables)", len(q.Rels))
+	}
+	if got := q.ComboCount(); got != 648 {
+		t.Errorf("combo count %d, want 648", got)
+	}
+	if len(q.GroupBy) == 0 || len(q.OrderBy) == 0 {
+		t.Error("Q5 analogue must group and order")
+	}
+}
+
+func TestRandomAtomicConfigIsAtomic(t *testing.T) {
+	s, err := StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := optimizer.NewAnalysis(qs[8], s.Stats, optimizer.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := whatif.NewSession(s.Catalog)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		cfg, err := RandomAtomicConfig(rng, a, ws, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.Atomic(qs[8]) {
+			t.Fatalf("trial %d: config not atomic: %s", i, cfg)
+		}
+		for _, ix := range cfg.Indexes {
+			tb := s.Catalog.Table(ix.Table)
+			for _, col := range ix.Columns {
+				if tb.Column(col) == nil {
+					t.Fatalf("index column %s.%s unknown", ix.Table, col)
+				}
+			}
+		}
+	}
+}
+
+func TestCandidateIndexes(t *testing.T) {
+	s, err := StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := optimizer.NewAnalysis(qs[9], s.Stats, optimizer.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := whatif.NewSession(s.Catalog)
+	_, names, err := CandidateIndexes(a, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 20 {
+		t.Errorf("only %d candidates for a 7-way join", len(names))
+	}
+	if got := DescribeQueries(qs); !strings.Contains(got, "Q10") {
+		t.Error("DescribeQueries misses Q10")
+	}
+}

@@ -1,0 +1,224 @@
+// Package pinum is the public API of the PINUM library, a reproduction of
+// "Caching All Plans with Just One Optimizer Call" (Dash, Alagiannis,
+// Maier, Ailamaki — ICDE Workshops 2010).
+//
+// PINUM fills an INUM-style plan cache — the data structure that lets a
+// physical-design tool estimate a query's cost under any index
+// configuration with pure arithmetic — using just one optimizer call per
+// nested-loop mode, by exporting the intermediate plans a bottom-up
+// dynamic-programming optimizer builds anyway.
+//
+// The library bundles everything the paper's system needs, implemented
+// from scratch: a statistics-driven catalog with what-if indexes, a
+// PostgreSQL-style cost-based optimizer, the INUM baseline, the PINUM
+// one-call cache construction, a greedy index advisor, and a small
+// execution engine (heap files, B-trees, physical operators) for running
+// the suggested designs on materialised data.
+//
+// Typical usage:
+//
+//	db := pinum.NewDatabase()
+//	db.MustTable(&catalog.Table{...})
+//	q, err := db.ParseQuery("SELECT ... FROM ...", "Q1")
+//	cache, err := db.BuildPlanCache(q)       // 2 optimizer calls
+//	cost, plan, err := cache.Cost(cfg)        // no optimizer calls
+//
+// or, for index selection:
+//
+//	adv := db.NewAdvisor(5 * pinum.GB)
+//	adv.AddQuery(q)
+//	result, err := adv.Run()
+package pinum
+
+import (
+	"fmt"
+
+	"github.com/pinumdb/pinum/internal/advisor"
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/data"
+	"github.com/pinumdb/pinum/internal/executor"
+	"github.com/pinumdb/pinum/internal/inum"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/sql"
+	"github.com/pinumdb/pinum/internal/stats"
+	"github.com/pinumdb/pinum/internal/whatif"
+)
+
+// GB is one gigabyte (base-10, as the paper's budgets are).
+const GB int64 = 1_000_000_000
+
+// Re-exported core types, so downstream users need only this package plus
+// internal/catalog for schema declarations.
+type (
+	// Query is a bound query ready for planning.
+	Query = query.Query
+	// Config is an index configuration (a set of indexes).
+	Config = query.Config
+	// Index describes a real or hypothetical index.
+	Index = catalog.Index
+	// Table describes a base relation.
+	Table = catalog.Table
+	// Column describes a table column.
+	Column = catalog.Column
+	// PlanCache is the INUM/PINUM plan cache with its linear cost model.
+	PlanCache = inum.Cache
+	// AdvisorResult reports an index-selection run.
+	AdvisorResult = advisor.Result
+)
+
+// Database is the top-level handle: a catalog, statistics, and the
+// sessions built over them.
+type Database struct {
+	cat *catalog.Catalog
+	st  *stats.Store
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{cat: catalog.New(), st: stats.NewStore()}
+}
+
+// NewDatabaseWith wraps an existing catalog and statistics store (the
+// workload generators produce these).
+func NewDatabaseWith(cat *catalog.Catalog, st *stats.Store) *Database {
+	return &Database{cat: cat, st: st}
+}
+
+// Catalog exposes the underlying catalog.
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Stats exposes the underlying statistics store.
+func (db *Database) Stats() *stats.Store { return db.st }
+
+// AddTable registers a table.
+func (db *Database) AddTable(t *Table) error { return db.cat.AddTable(t) }
+
+// MustTable registers a table, panicking on error (for declarative setup).
+func (db *Database) MustTable(t *Table) {
+	if err := db.cat.AddTable(t); err != nil {
+		panic(err)
+	}
+}
+
+// SetColumnStats installs statistics for table.column.
+func (db *Database) SetColumnStats(table, column string, s *stats.ColumnStats) {
+	db.st.Set(table, column, s)
+}
+
+// ParseQuery parses and binds a SQL text against the catalog.
+func (db *Database) ParseQuery(sqlText, name string) (*Query, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return sql.Bind(stmt, db.cat, name)
+}
+
+// WhatIf opens a what-if session for declaring hypothetical indexes.
+func (db *Database) WhatIf() *whatif.Session { return whatif.NewSession(db.cat) }
+
+// Analyze derives the planning state for a query.
+func (db *Database) Analyze(q *Query) (*optimizer.Analysis, error) {
+	return optimizer.NewAnalysis(q, db.st, optimizer.DefaultCostParams())
+}
+
+// Optimize runs one conventional optimizer call under the configuration
+// and returns the best plan, its cost, and an EXPLAIN rendering.
+func (db *Database) Optimize(q *Query, cfg *Config) (cost float64, explain string, err error) {
+	a, err := db.Analyze(q)
+	if err != nil {
+		return 0, "", err
+	}
+	res, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: true})
+	if err != nil {
+		return 0, "", err
+	}
+	return res.Best.Cost, optimizer.Explain(res.Best, q), nil
+}
+
+// BuildPlanCache fills a plan cache the PINUM way: two optimizer calls,
+// intermediate plans exported (paper §V-D).
+func (db *Database) BuildPlanCache(q *Query) (*PlanCache, error) {
+	a, err := db.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(a, whatif.NewSession(db.cat))
+}
+
+// BuildPlanCachePrecise fills the cache with the §V-D high-accuracy
+// refinement (bigger cache, exact nested-loop costing).
+func (db *Database) BuildPlanCachePrecise(q *Query) (*PlanCache, error) {
+	a, err := db.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildPrecise(a, whatif.NewSession(db.cat))
+}
+
+// BuildPlanCacheINUM fills the cache the conventional INUM way: one
+// optimizer call per interesting order combination and nested-loop mode.
+// It exists as the baseline the paper compares against.
+func (db *Database) BuildPlanCacheINUM(q *Query) (*PlanCache, error) {
+	a, err := db.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	return inum.Build(a, whatif.NewSession(db.cat))
+}
+
+// NewAdvisor returns an index advisor with the given space budget.
+func (db *Database) NewAdvisor(budgetBytes int64) *advisor.Advisor {
+	return advisor.New(db.cat, db.st, budgetBytes)
+}
+
+// Materialize fills every table with deterministic synthetic data and
+// returns an execution handle.
+func (db *Database) Materialize(seed int64) (*Materialized, error) {
+	d, err := data.Materialize(db.cat, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Materialized{db: db, data: d}, nil
+}
+
+// Materialized is a physically materialised database that can execute
+// plans.
+type Materialized struct {
+	db   *Database
+	data *data.Database
+}
+
+// Execute optimizes the query under cfg and runs the chosen plan,
+// returning the result rows projected to the select list. Plans are chosen
+// with the in-memory cost profile, matching the engine they run on.
+func (m *Materialized) Execute(q *Query, cfg *Config) ([][]int64, error) {
+	a, err := optimizer.NewAnalysis(q, m.db.st, optimizer.InMemoryCostParams())
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: true})
+	if err != nil {
+		return nil, err
+	}
+	ex := executor.New(m.data, q)
+	rs, err := ex.Run(res.Best)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Project(), nil
+}
+
+// Data exposes the underlying materialised tables and indexes.
+func (m *Materialized) Data() *data.Database { return m.data }
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// String summarises the database handle.
+func (db *Database) String() string {
+	return fmt.Sprintf("pinum.Database(%d tables, %d indexes)",
+		len(db.cat.Tables()), len(db.cat.AllIndexes()))
+}

@@ -1,0 +1,139 @@
+package pinum
+
+import (
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/workload"
+)
+
+func demoDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	db.MustTable(&Table{
+		Name:     "customers",
+		RowCount: 10_000,
+		Columns: []*Column{
+			{Name: "id", NDV: 10_000, Min: 1, Max: 10_000, NotNull: true},
+			{Name: "region", NDV: 50, Min: 1, Max: 50},
+		},
+	})
+	db.MustTable(&Table{
+		Name:     "orders",
+		RowCount: 200_000,
+		Columns: []*Column{
+			{Name: "id", NDV: 200_000, Min: 1, Max: 200_000, NotNull: true},
+			{Name: "customer_id", NDV: 10_000, Min: 1, Max: 10_000, NotNull: true},
+			{Name: "amount", NDV: 1000, Min: 1, Max: 1000},
+		},
+	})
+	return db
+}
+
+const demoSQL = "SELECT orders.amount, customers.region FROM orders, customers " +
+	"WHERE orders.customer_id = customers.id AND orders.amount BETWEEN 1 AND 10 " +
+	"ORDER BY customers.region"
+
+func TestFacadeEndToEnd(t *testing.T) {
+	db := demoDB(t)
+	q, err := db.ParseQuery(demoSQL, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := db.BuildPlanCache(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats.OptimizerCalls != 2 {
+		t.Errorf("PINUM used %d calls, want 2", cache.Stats.OptimizerCalls)
+	}
+	ws := db.WhatIf()
+	ix, err := ws.CreateIndex("orders", "amount", "customer_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{Indexes: []*Index{ix}}
+	withIx, _, err := cache.Cost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, _, err := cache.Cost(&Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withIx > without {
+		t.Errorf("index made the estimate worse: %f > %f", withIx, without)
+	}
+	// The cache estimate must match a direct optimizer call.
+	direct, explain, err := db.Optimize(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explain == "" {
+		t.Error("empty explain output")
+	}
+	rel := withIx/direct - 1
+	if rel > 0.1 || rel < -1e9 {
+		t.Errorf("cache %f vs direct %f", withIx, direct)
+	}
+}
+
+func TestFacadeAdvisor(t *testing.T) {
+	db := demoDB(t)
+	q, err := db.ParseQuery(demoSQL, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := db.NewAdvisor(1 * GB)
+	if err := adv.AddQuery(q, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := adv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalCost > res.BaseCost {
+		t.Error("advisor increased the cost")
+	}
+}
+
+func TestFacadeMaterializeAndExecute(t *testing.T) {
+	star, err := workload.StarSchema(0.0002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabaseWith(star.Catalog, star.Stats)
+	qs, err := star.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := db.Materialize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := mat.Execute(qs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := db.WhatIf()
+	ix, err := ws.CreateIndex("fact", "fk_dim1_1", "m1", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := mat.Execute(qs[0], &Config{Indexes: []*Index{ix}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rows2) {
+		t.Errorf("indexed execution changed the result: %d vs %d rows", len(rows), len(rows2))
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	db := demoDB(t)
+	if _, err := db.ParseQuery("SELECT nope FROM orders", "bad"); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := db.ParseQuery("not sql", "bad"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
