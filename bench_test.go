@@ -10,13 +10,16 @@ package pinum
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
+	"github.com/pinumdb/pinum/internal/advisor"
 	"github.com/pinumdb/pinum/internal/core"
 	"github.com/pinumdb/pinum/internal/experiments"
 	"github.com/pinumdb/pinum/internal/inum"
 	"github.com/pinumdb/pinum/internal/optimizer"
 	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/storage"
 	"github.com/pinumdb/pinum/internal/whatif"
 	"github.com/pinumdb/pinum/internal/workload"
 )
@@ -137,6 +140,69 @@ func BenchmarkCacheBuild(b *testing.B) {
 			a := analysis(b, e, q)
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Build(a, whatif.NewSession(e.Star.Catalog)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdvisorParallel compares the serial and parallel workload paths
+// of the §V-E advisor: batch plan-cache construction (AddQueries) and the
+// greedy candidate search (Run), each at Parallelism 1 versus all CPUs.
+// Results are bit-identical at every setting; only wall-clock differs.
+func BenchmarkAdvisorParallel(b *testing.B) {
+	e := env(b)
+	modes := []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run("build/"+m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ad := advisor.New(e.Star.Catalog, e.Star.Stats, storage.BytesForGB(5))
+				ad.Parallelism = m.par
+				if err := ad.AddQueries(e.Queries, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, m := range modes {
+		m := m
+		b.Run("greedy/"+m.name, func(b *testing.B) {
+			ad := advisor.New(e.Star.Catalog, e.Star.Stats, storage.BytesForGB(5))
+			ad.Parallelism = m.par
+			if err := ad.AddQueries(e.Queries, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ad.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchCacheBuild measures the whole-workload cache construction
+// path (core.BuildAll) at increasing worker counts.
+func BenchmarkBatchCacheBuild(b *testing.B) {
+	e := env(b)
+	analyses := make([]*optimizer.Analysis, len(e.Queries))
+	for i, q := range e.Queries {
+		analyses[i] = analysis(b, e, q)
+	}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildAll(analyses, e.Star.Catalog, workers, false); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -20,12 +20,14 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced trial counts")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	scale := flag.Float64("exec-scale", 0.0005, "materialisation scale for the execution experiment (1.0 = the paper's 10 GB)")
+	workers := flag.Int("workers", 0, "worker pool size for the advisor's cache construction and greedy search in e4 (0 = all CPUs, 1 = serial; results are identical either way). e3 always times builds serially, in isolation, to stay faithful to the paper's methodology")
 	flag.Parse()
 
 	env, err := experiments.NewEnv(*seed)
 	if err != nil {
 		fatal(err)
 	}
+	env.Workers = *workers
 	want := strings.ToLower(*exp)
 	run := func(id string) bool { return want == "all" || want == id }
 

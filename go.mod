@@ -1,0 +1,3 @@
+module github.com/pinumdb/pinum
+
+go 1.21

@@ -64,6 +64,12 @@ type Advisor struct {
 	// MaxIndexes optionally caps the number of suggested indexes
 	// (0 = unlimited).
 	MaxIndexes int
+	// Parallelism bounds the worker pool used for batch cache construction
+	// (AddQueries) and for fanning out candidate evaluations inside Run's
+	// greedy rounds. 0 means GOMAXPROCS (core.Fan's default resolution);
+	// 1 forces the serial path. Results are bit-identical at every
+	// setting.
+	Parallelism int
 
 	queries    []*QueryState
 	candidates []*catalog.Index
@@ -98,6 +104,44 @@ func (ad *Advisor) AddQuery(q *query.Query, weight float64) error {
 	ad.queries = append(ad.queries, &QueryState{
 		Query: q, A: a, Cache: cache, Weight: weight, BaseCost: base,
 	})
+	return nil
+}
+
+// AddQueries registers a whole workload at once, building the PINUM plan
+// caches across the advisor's worker pool (core.BuildAll). weights may be
+// nil, meaning weight 1 for every query; otherwise it must be parallel to
+// queries. Queries are appended in input order, so the advisor's state is
+// identical to calling AddQuery serially.
+func (ad *Advisor) AddQueries(queries []*query.Query, weights []float64) error {
+	if len(weights) != 0 && len(weights) != len(queries) {
+		return fmt.Errorf("advisor: %d weights for %d queries", len(weights), len(queries))
+	}
+	analyses := make([]*optimizer.Analysis, len(queries))
+	for i, q := range queries {
+		a, err := optimizer.NewAnalysis(q, ad.st, optimizer.DefaultCostParams())
+		if err != nil {
+			return err
+		}
+		analyses[i] = a
+	}
+	caches, err := core.BuildAll(analyses, ad.cat, ad.Parallelism, false)
+	if err != nil {
+		return fmt.Errorf("advisor: building caches: %w", err)
+	}
+	for i, q := range queries {
+		w := 1.0
+		if len(weights) != 0 && weights[i] > 0 {
+			w = weights[i]
+		}
+		ad.calls += caches[i].Stats.OptimizerCalls
+		base, _, err := caches[i].Cost(&query.Config{})
+		if err != nil {
+			return fmt.Errorf("advisor: base cost for %s: %w", q.Name, err)
+		}
+		ad.queries = append(ad.queries, &QueryState{
+			Query: q, A: analyses[i], Cache: caches[i], Weight: w, BaseCost: base,
+		})
+	}
 	return nil
 }
 
@@ -163,8 +207,25 @@ func (ad *Advisor) AddCandidate(ix *catalog.Index) {
 // set (the chosen indexes). Each query independently picks its best atomic
 // sub-configuration: for every relation, the cost model already minimises
 // over the configuration's indexes on that table, so passing the full set
-// is equivalent to the best atomic choice per cached plan.
-func (ad *Advisor) workloadCost(chosen []*catalog.Index) (float64, map[string]float64, error) {
+// is equivalent to the best atomic choice per cached plan. It allocates
+// nothing beyond the Config wrapper — it runs once per candidate per
+// greedy round.
+func (ad *Advisor) workloadCost(chosen []*catalog.Index) (float64, error) {
+	cfg := &query.Config{Indexes: chosen}
+	total := 0.0
+	for _, qs := range ad.queries {
+		c, _, err := qs.Cache.Cost(cfg)
+		if err != nil {
+			return 0, err
+		}
+		total += qs.Weight * c
+	}
+	return total, nil
+}
+
+// workloadCostPer is workloadCost plus the per-query cost breakdown, for
+// the bookend calls that fill Result.PerQuery.
+func (ad *Advisor) workloadCostPer(chosen []*catalog.Index) (float64, map[string]float64, error) {
 	cfg := &query.Config{Indexes: chosen}
 	total := 0.0
 	per := make(map[string]float64, len(ad.queries))
@@ -179,10 +240,39 @@ func (ad *Advisor) workloadCost(chosen []*catalog.Index) (float64, map[string]fl
 	return total, per, nil
 }
 
+// evaluateRound prices chosen+candidate for every eligible candidate,
+// fanning the evaluations over the advisor's worker pool. It returns one
+// workload cost per entry of eligible (indexes into remaining). Each
+// worker owns one configuration slice (a copy of the chosen prefix plus a
+// final slot it rewrites per candidate), so goroutines never share a
+// backing array — which relies on Cache.Cost not retaining the slice it
+// is passed.
+func (ad *Advisor) evaluateRound(chosen, remaining []*catalog.Index, eligible []int) ([]float64, error) {
+	costs := make([]float64, len(eligible))
+	errs := make([]error, len(eligible))
+	core.Fan(len(eligible), ad.Parallelism, func() func(int) {
+		// Each worker reuses one config slice; only its last slot varies.
+		cfg := make([]*catalog.Index, len(chosen)+1)
+		copy(cfg, chosen)
+		return func(j int) {
+			cfg[len(chosen)] = remaining[eligible[j]]
+			costs[j], errs[j] = ad.workloadCost(cfg)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return costs, nil
+}
+
 // Run executes the greedy selection loop: in each round, evaluate every
 // remaining candidate alongside the already-chosen set, keep the one with
 // the highest benefit, and stop when the budget is exhausted or no
-// candidate helps.
+// candidate helps. Candidate evaluations within a round run across the
+// advisor's worker pool (Parallelism); the result is bit-identical to the
+// serial search.
 func (ad *Advisor) Run() (*Result, error) {
 	start := time.Now()
 	if len(ad.queries) == 0 {
@@ -193,7 +283,7 @@ func (ad *Advisor) Run() (*Result, error) {
 	}
 	res := &Result{PerQuery: make(map[string][2]float64), CandidateCount: len(ad.candidates)}
 
-	baseTotal, basePer, err := ad.workloadCost(nil)
+	baseTotal, basePer, err := ad.workloadCostPer(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -211,18 +301,25 @@ func (ad *Advisor) Run() (*Result, error) {
 		if ad.MaxIndexes > 0 && len(chosen) >= ad.MaxIndexes {
 			break
 		}
+		// Candidates that still fit the budget this round.
+		eligible := make([]int, 0, len(remaining))
+		for i, cand := range remaining {
+			if usedBytes+storage.IndexBytes(cand) <= ad.BudgetBytes {
+				eligible = append(eligible, i)
+			}
+		}
+		costs, err := ad.evaluateRound(chosen, remaining, eligible)
+		if err != nil {
+			return nil, err
+		}
+		// Deterministic reduce: scan in candidate order with the same
+		// strict-improvement rule the serial loop used, so ties break to
+		// the lowest candidate index and the pick is bit-identical at any
+		// parallelism.
 		bestIdx := -1
 		bestCost := current
-		for i, cand := range remaining {
-			sz := storage.IndexBytes(cand)
-			if usedBytes+sz > ad.BudgetBytes {
-				continue
-			}
-			c, _, err := ad.workloadCost(append(chosen, cand))
-			if err != nil {
-				return nil, err
-			}
-			if c < bestCost-1e-9 {
+		for j, i := range eligible {
+			if c := costs[j]; c < bestCost-1e-9 {
 				bestCost = c
 				bestIdx = i
 			}
@@ -238,7 +335,7 @@ func (ad *Advisor) Run() (*Result, error) {
 		res.Rounds++
 	}
 
-	finalTotal, finalPer, err := ad.workloadCost(chosen)
+	finalTotal, finalPer, err := ad.workloadCostPer(chosen)
 	if err != nil {
 		return nil, err
 	}

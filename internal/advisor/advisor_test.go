@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"math"
 	"testing"
 
 	"github.com/pinumdb/pinum/internal/optimizer"
@@ -120,6 +121,141 @@ func TestNoOptimizerCallsDuringGreedyLoop(t *testing.T) {
 	// The paper's point: 2 calls per query, regardless of candidates.
 	if callsAfterCaches != 2*4 {
 		t.Errorf("cache construction used %d calls, want 8", callsAfterCaches)
+	}
+}
+
+// TestParallelRunMatchesSerial is the tentpole's determinism guarantee: the
+// parallel greedy search must return byte-identical results to the serial
+// one — same indexes in the same pick order, bit-equal costs.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = qs[:6]
+	mk := func(par int) *Result {
+		ad := New(s.Catalog, s.Stats, storage.BytesForGB(5))
+		ad.Parallelism = par
+		if err := ad.AddQueries(qs, nil); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ad.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := mk(1)
+	parallel := mk(8)
+	if len(serial.Chosen) == 0 {
+		t.Fatal("serial run chose nothing; the comparison is vacuous")
+	}
+	if len(serial.Chosen) != len(parallel.Chosen) {
+		t.Fatalf("serial chose %d indexes, parallel %d", len(serial.Chosen), len(parallel.Chosen))
+	}
+	for i := range serial.Chosen {
+		if serial.Chosen[i].Key() != parallel.Chosen[i].Key() {
+			t.Errorf("pick %d: serial %s, parallel %s", i, serial.Chosen[i].Key(), parallel.Chosen[i].Key())
+		}
+	}
+	if math.Float64bits(serial.FinalCost) != math.Float64bits(parallel.FinalCost) {
+		t.Errorf("final cost differs: serial %v, parallel %v", serial.FinalCost, parallel.FinalCost)
+	}
+	if math.Float64bits(serial.BaseCost) != math.Float64bits(parallel.BaseCost) {
+		t.Errorf("base cost differs: serial %v, parallel %v", serial.BaseCost, parallel.BaseCost)
+	}
+	if serial.TotalBytes != parallel.TotalBytes || serial.Rounds != parallel.Rounds {
+		t.Errorf("serial (%d bytes, %d rounds) != parallel (%d bytes, %d rounds)",
+			serial.TotalBytes, serial.Rounds, parallel.TotalBytes, parallel.Rounds)
+	}
+	for name, se := range serial.PerQuery {
+		pe, ok := parallel.PerQuery[name]
+		if !ok || se != pe {
+			t.Errorf("%s: per-query costs differ: serial %v, parallel %v", name, se, pe)
+		}
+	}
+}
+
+// TestAddQueriesMatchesAddQuery checks the batch registration path leaves
+// the advisor in the same state as the serial per-query path.
+func TestAddQueriesMatchesAddQuery(t *testing.T) {
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = qs[:4]
+
+	serial := New(s.Catalog, s.Stats, storage.BytesForGB(3))
+	for _, q := range qs {
+		if err := serial.AddQuery(q, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := New(s.Catalog, s.Stats, storage.BytesForGB(3))
+	batch.Parallelism = 4
+	if err := batch.AddQueries(qs, []float64{2, 2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.queries) != len(serial.queries) {
+		t.Fatalf("batch registered %d queries, serial %d", len(batch.queries), len(serial.queries))
+	}
+	for i := range serial.queries {
+		sq, bq := serial.queries[i], batch.queries[i]
+		if sq.Query.Name != bq.Query.Name || sq.Weight != bq.Weight {
+			t.Errorf("query %d: (%s, %v) != (%s, %v)", i, sq.Query.Name, sq.Weight, bq.Query.Name, bq.Weight)
+		}
+		if math.Float64bits(sq.BaseCost) != math.Float64bits(bq.BaseCost) {
+			t.Errorf("%s: base cost %v != %v", sq.Query.Name, sq.BaseCost, bq.BaseCost)
+		}
+		if sq.Cache.Stats.OptimizerCalls != bq.Cache.Stats.OptimizerCalls ||
+			sq.Cache.Stats.PlansCached != bq.Cache.Stats.PlansCached {
+			t.Errorf("%s: cache stats differ: %+v vs %+v", sq.Query.Name, sq.Cache.Stats, bq.Cache.Stats)
+		}
+	}
+	if batch.calls != serial.calls {
+		t.Errorf("batch spent %d optimizer calls, serial %d", batch.calls, serial.calls)
+	}
+	sres, err := serial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := batch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(sres.FinalCost) != math.Float64bits(bres.FinalCost) {
+		t.Errorf("final costs differ: %v vs %v", sres.FinalCost, bres.FinalCost)
+	}
+	if len(sres.Chosen) != len(bres.Chosen) {
+		t.Fatalf("chose %d vs %d indexes", len(sres.Chosen), len(bres.Chosen))
+	}
+	for i := range sres.Chosen {
+		if sres.Chosen[i].Key() != bres.Chosen[i].Key() {
+			t.Errorf("pick %d: %s vs %s", i, sres.Chosen[i].Key(), bres.Chosen[i].Key())
+		}
+	}
+}
+
+func TestAddQueriesWeightValidation(t *testing.T) {
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := New(s.Catalog, s.Stats, storage.BytesForGB(1))
+	if err := ad.AddQueries(qs[:3], []float64{1, 2}); err == nil {
+		t.Error("mismatched weights accepted")
 	}
 }
 

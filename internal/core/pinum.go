@@ -78,7 +78,9 @@ func CollectAccessCosts(a *optimizer.Analysis, candidates []*catalog.Index) *inu
 	t := &inum.AccessCostTable{ByIndex: make(map[string][]optimizer.IndexAccess)}
 	cfg := whatif.Config(candidates...)
 	res, err := optimizer.Optimize(a, cfg, optimizer.Options{CollectAccessCosts: true})
-	if err == nil {
+	if err != nil {
+		t.Errors = 1
+	} else {
 		t.Calls = 1
 		for _, ia := range res.AccessCosts {
 			t.ByIndex[ia.Index.Name] = append(t.ByIndex[ia.Index.Name], ia)

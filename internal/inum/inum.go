@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/pinumdb/pinum/internal/catalog"
@@ -69,7 +70,9 @@ type BuildStats struct {
 	Duration time.Duration
 }
 
-// Cache is an INUM plan cache for one query.
+// Cache is an INUM plan cache for one query. Cost is safe for concurrent
+// use (the advisor's parallel greedy search prices many configurations at
+// once); construction (AddPath) is not.
 type Cache struct {
 	Q     *query.Query
 	A     *optimizer.Analysis
@@ -77,11 +80,40 @@ type Cache struct {
 	Stats BuildStats
 
 	sigs map[string]bool
+
+	// Leaf access costs depend only on (relation, requirement, index), not
+	// on the rest of the configuration, so they are memoized across Cost
+	// calls: a greedy round evaluating |candidates| configurations that
+	// share the chosen prefix recomputes nothing for the prefix.
+	mu       sync.RWMutex
+	leafMemo map[leafKey]leafVal
+	seqMemo  map[int]float64
+}
+
+// leafKey identifies one memoized leaf access cost.
+type leafKey struct {
+	rel  int
+	mode optimizer.AccessMode
+	col  string
+	ix   *catalog.Index
+}
+
+// leafVal is a memoized Analysis.IndexLeafCost result, applicability
+// verdict included, so the applicability rules live only in the optimizer.
+type leafVal struct {
+	cost float64
+	ok   bool
 }
 
 // NewCache returns an empty cache over the analysed query.
 func NewCache(a *optimizer.Analysis) *Cache {
-	return &Cache{Q: a.Q, A: a, sigs: make(map[string]bool)}
+	return &Cache{
+		Q:        a.Q,
+		A:        a,
+		sigs:     make(map[string]bool),
+		leafMemo: make(map[leafKey]leafVal),
+		seqMemo:  make(map[int]float64),
+	}
 }
 
 // AddPath converts an optimizer path into a cache entry, deduplicating by
@@ -120,7 +152,8 @@ func (c *Cache) AddPath(p *optimizer.Path) bool {
 // Cost estimates the query's optimal cost under the configuration using
 // only cached information — the operation that replaces an optimizer call.
 // It returns the winning plan. An error is returned only when no cached
-// plan is applicable (an empty cache).
+// plan is applicable (an empty cache). Costs are identical to evaluating
+// Analysis.AccessCost directly; leaf costs are served from the memo.
 func (c *Cache) Cost(cfg *query.Config) (float64, *CachedPlan, error) {
 	best := math.Inf(1)
 	var bestPlan *CachedPlan
@@ -128,7 +161,7 @@ func (c *Cache) Cost(cfg *query.Config) (float64, *CachedPlan, error) {
 		cost := cp.Internal
 		ok := true
 		for rel, req := range cp.Leaves {
-			a, applicable := c.A.AccessCost(rel, req, cfg)
+			a, applicable := c.accessCost(rel, req, cfg)
 			if !applicable {
 				ok = false
 				break
@@ -146,6 +179,51 @@ func (c *Cache) Cost(cfg *query.Config) (float64, *CachedPlan, error) {
 	return best, bestPlan, nil
 }
 
+// accessCost evaluates a leaf requirement through the optimizer's own
+// minimisation loop, with the cache as the (memoized) leaf coster.
+func (c *Cache) accessCost(rel int, req optimizer.LeafReq, cfg *query.Config) (float64, bool) {
+	return optimizer.LeafAccessCost(c, rel, req, cfg)
+}
+
+// IndexLeafCost implements optimizer.LeafCoster: Analysis.IndexLeafCost
+// memoized per (rel, mode, col, index). Inapplicable pairs are rejected up
+// front through the optimizer's own LeafApplicable rule — the same one
+// Analysis.IndexLeafCost applies — which keeps them out of the memo and
+// off the locked path without duplicating applicability logic here.
+func (c *Cache) IndexLeafCost(rel int, req optimizer.LeafReq, ix *catalog.Index) (float64, bool) {
+	if !optimizer.LeafApplicable(c.A.Rels[rel].Table.Name, req, ix) {
+		return 0, false
+	}
+	k := leafKey{rel: rel, mode: req.Mode, col: req.Col, ix: ix}
+	c.mu.RLock()
+	v, hit := c.leafMemo[k]
+	c.mu.RUnlock()
+	if hit {
+		return v.cost, v.ok
+	}
+	cost, ok := c.A.IndexLeafCost(rel, req, ix)
+	c.mu.Lock()
+	c.leafMemo[k] = leafVal{cost: cost, ok: ok}
+	c.mu.Unlock()
+	return cost, ok
+}
+
+// SeqScanCost implements optimizer.LeafCoster: Analysis.SeqScanCost
+// memoized per relation.
+func (c *Cache) SeqScanCost(rel int) float64 {
+	c.mu.RLock()
+	cost, hit := c.seqMemo[rel]
+	c.mu.RUnlock()
+	if hit {
+		return cost
+	}
+	cost = c.A.SeqScanCost(rel)
+	c.mu.Lock()
+	c.seqMemo[rel] = cost
+	c.mu.Unlock()
+	return cost
+}
+
 // UniqueCombos returns the number of distinct order combinations among the
 // cached plans (the paper's "useful plans" count).
 func (c *Cache) UniqueCombos() int {
@@ -156,10 +234,14 @@ func (c *Cache) UniqueCombos() int {
 	return len(seen)
 }
 
-// CoveringConfig builds the atomic what-if configuration INUM optimizes
-// under for one combination: per non-Φ slot, a covering index leading on
-// the order column and including every other column the query needs from
-// that relation, so that the optimizer actually exploits the order.
+// CoveringConfig builds the what-if configuration INUM optimizes under for
+// one combination: per non-Φ slot, a covering index leading on the order
+// column and including every other column the query needs from that
+// relation, so that the optimizer actually exploits the order. The
+// configuration is atomic for queries without self-joins; when the same
+// table appears in two slots with *different* orders, one index per
+// distinct (table, order) pair is emitted, since each relation occurrence
+// picks its own access path.
 func CoveringConfig(a *optimizer.Analysis, ws *whatif.Session, oc query.OrderCombo) (*query.Config, error) {
 	cfg := &query.Config{}
 	done := make(map[string]bool)
@@ -168,12 +250,20 @@ func CoveringConfig(a *optimizer.Analysis, ws *whatif.Session, oc query.OrderCom
 			continue
 		}
 		table := a.Rels[i].Table.Name
-		if done[table] {
+		key := table + ":" + col
+		if done[key] {
 			continue
 		}
-		done[table] = true
-		cols := coveringColumns(a, i, col)
-		ix, err := ws.CreateIndex(table, cols...)
+		done[key] = true
+		// Every slot sharing this (table, order) pair is served by the
+		// same index, so cover the union of their needed columns.
+		var rels []int
+		for j, cj := range oc {
+			if cj == col && a.Rels[j].Table.Name == table {
+				rels = append(rels, j)
+			}
+		}
+		ix, err := ws.CreateIndex(table, coveringColumns(a, rels, col)...)
 		if err != nil {
 			return nil, err
 		}
@@ -190,12 +280,28 @@ func AllOrdersConfig(a *optimizer.Analysis, ws *whatif.Session) (*query.Config, 
 	seen := make(map[string]bool)
 	for i := range a.Rels {
 		for _, col := range a.Rels[i].Interesting {
-			key := a.Rels[i].Table.Name + ":" + col
+			table := a.Rels[i].Table.Name
+			key := table + ":" + col
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			ix, err := ws.CreateIndex(a.Rels[i].Table.Name, coveringColumns(a, i, col)...)
+			// Cover the union of needed columns over every occurrence of
+			// this table for which col is an interesting order, so
+			// self-join occurrences share one truly covering index.
+			var rels []int
+			for j := range a.Rels {
+				if a.Rels[j].Table.Name != table {
+					continue
+				}
+				for _, cj := range a.Rels[j].Interesting {
+					if cj == col {
+						rels = append(rels, j)
+						break
+					}
+				}
+			}
+			ix, err := ws.CreateIndex(table, coveringColumns(a, rels, col)...)
 			if err != nil {
 				return nil, err
 			}
@@ -205,13 +311,21 @@ func AllOrdersConfig(a *optimizer.Analysis, ws *whatif.Session) (*query.Config, 
 	return cfg, nil
 }
 
-func coveringColumns(a *optimizer.Analysis, rel int, lead string) []string {
-	ri := &a.Rels[rel]
-	rest := make([]string, 0, len(ri.Needed))
-	for col := range ri.Needed {
-		if col != lead {
-			rest = append(rest, col)
+// coveringColumns returns lead followed by every other column the query
+// needs from the given relation occurrences (sorted). Passing several
+// occurrences of the same table unions their needs, so the one index built
+// per (table, order) pair covers each of them.
+func coveringColumns(a *optimizer.Analysis, rels []int, lead string) []string {
+	need := make(map[string]bool)
+	for _, r := range rels {
+		for col := range a.Rels[r].Needed {
+			need[col] = true
 		}
+	}
+	delete(need, lead)
+	rest := make([]string, 0, len(need))
+	for col := range need {
+		rest = append(rest, col)
 	}
 	sort.Strings(rest)
 	return append([]string{lead}, rest...)
@@ -248,16 +362,22 @@ func Build(a *optimizer.Analysis, ws *whatif.Session) (*Cache, error) {
 // name, as the physical designer consumes them.
 type AccessCostTable struct {
 	ByIndex map[string][]optimizer.IndexAccess
-	// Calls is the number of optimizer invocations spent building the
-	// table.
-	Calls    int
+	// Calls is the number of optimizer invocations that completed
+	// successfully while building the table.
+	Calls int
+	// Errors counts optimizer invocations that failed; the corresponding
+	// candidates have no ByIndex entry. Callers deciding whether the table
+	// is complete should check this instead of assuming silence means
+	// success.
+	Errors   int
 	Duration time.Duration
 }
 
 // CollectAccessCostsNaive measures index access costs the way INUM must
 // without optimizer hooks: one optimizer call per candidate index,
 // extracting that index's access cost from the returned information
-// (§V-C's "relatively inefficient" baseline).
+// (§V-C's "relatively inefficient" baseline). Optimizer failures are
+// recorded in the table's Errors counter rather than dropped.
 func CollectAccessCostsNaive(a *optimizer.Analysis, candidates []*catalog.Index) *AccessCostTable {
 	start := time.Now()
 	t := &AccessCostTable{ByIndex: make(map[string][]optimizer.IndexAccess)}
@@ -265,6 +385,7 @@ func CollectAccessCostsNaive(a *optimizer.Analysis, candidates []*catalog.Index)
 		cfg := whatif.Config(ix)
 		res, err := optimizer.Optimize(a, cfg, optimizer.Options{CollectAccessCosts: true})
 		if err != nil {
+			t.Errors++
 			continue
 		}
 		t.Calls++

@@ -1,9 +1,13 @@
 package inum
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
+	"github.com/pinumdb/pinum/internal/catalog"
 	"github.com/pinumdb/pinum/internal/optimizer"
 	"github.com/pinumdb/pinum/internal/query"
 	"github.com/pinumdb/pinum/internal/whatif"
@@ -143,6 +147,187 @@ func TestCoveringConfigIsAtomicAndCovers(t *testing.T) {
 	}
 	if !cfg.Covers(a.Q, oc) {
 		t.Errorf("covering config does not cover %v", oc)
+	}
+}
+
+// selfJoin builds a query joining dim1_1 to itself on different columns, so
+// the same table appears in two relations with different interesting orders
+// (a1 for the first occurrence, id for the second).
+func selfJoin(t testing.TB) (*workload.Star, *optimizer.Analysis) {
+	t.Helper()
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Catalog.Table("dim1_1")
+	if d == nil {
+		t.Fatal("no dim1_1 table")
+	}
+	q := &query.Query{
+		Name: "selfjoin",
+		Rels: []query.Rel{{Table: d, Alias: "e"}, {Table: d, Alias: "m"}},
+		Joins: []query.Join{{
+			Left:  query.ColRef{Rel: 0, Column: "a1"},
+			Right: query.ColRef{Rel: 1, Column: "id"},
+		}},
+		Select: []query.ColRef{{Rel: 0, Column: "id"}, {Rel: 1, Column: "a2"}},
+	}
+	a, err := optimizer.NewAnalysis(q, s.Stats, optimizer.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a
+}
+
+func TestCoveringConfigSelfJoinCoversBothOrders(t *testing.T) {
+	s, a := selfJoin(t)
+	ws := whatif.NewSession(s.Catalog)
+	oc := query.OrderCombo{"a1", "id"}
+	cfg, err := CoveringConfig(a, ws, oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Indexes) != 2 {
+		t.Fatalf("got %d indexes for two distinct orders on one table, want 2: %s",
+			len(cfg.Indexes), cfg)
+	}
+	for i, col := range oc {
+		covered := false
+		for _, ix := range cfg.Indexes {
+			if ix.Table == a.Rels[i].Table.Name && ix.Covers(col) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("slot %d: order %s.%s not covered by %s", i, a.Rels[i].Table.Name, col, cfg)
+		}
+	}
+	if !cfg.Covers(a.Q, oc) {
+		t.Errorf("Config.Covers rejects the self-join covering config %s for %v", cfg, oc)
+	}
+	// Same order in both slots still deduplicates to one index, which
+	// must cover the union of both occurrences' needed columns (a1 from
+	// the first, a2 from the second).
+	same, err := CoveringConfig(a, whatif.NewSession(s.Catalog), query.OrderCombo{"id", "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same.Indexes) != 1 {
+		t.Fatalf("identical orders produced %d indexes, want 1", len(same.Indexes))
+	}
+	for _, col := range []string{"id", "a1", "a2"} {
+		if !same.Indexes[0].HasColumn(col) {
+			t.Errorf("shared covering index %s misses %s, needed by one occurrence",
+				same.Indexes[0].Key(), col)
+		}
+	}
+}
+
+func TestAllOrdersConfigSelfJoinCoversEverything(t *testing.T) {
+	s, a := selfJoin(t)
+	cfg, err := AllOrdersConfig(a, whatif.NewSession(s.Catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rels {
+		for _, col := range a.Rels[i].Interesting {
+			found := false
+			for _, ix := range cfg.Indexes {
+				if ix.Table == a.Rels[i].Table.Name && ix.Covers(col) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("order %s.%s (rel %d) not covered", a.Rels[i].Table.Name, col, i)
+			}
+		}
+	}
+}
+
+func TestSelfJoinBuildAndCost(t *testing.T) {
+	s, a := selfJoin(t)
+	c, err := Build(a, whatif.NewSession(s.Catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.PlansCached == 0 {
+		t.Fatal("no plans cached for the self-join")
+	}
+	// Pricing a two-indexes-on-one-table configuration must succeed and
+	// never undercut the optimizer.
+	ws := whatif.NewSession(s.Catalog)
+	ixA, err := ws.CreateIndex("dim1_1", "a1", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixB, err := ws.CreateIndex("dim1_1", "id", "a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &query.Config{Indexes: []*catalog.Index{ixA, ixB}}
+	got, _, err := c.Cost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < res.Best.Cost*(1-1e-9) {
+		t.Errorf("model %f below optimizer %f", got, res.Best.Cost)
+	}
+}
+
+// TestCostConcurrentMatchesSerial exercises the memoized Cost path from
+// many goroutines and checks bit-identical results against a serial pass
+// over the same configurations (run under -race this also proves the memo
+// is race-clean).
+func TestCostConcurrentMatchesSerial(t *testing.T) {
+	s, a := setup(t, 3)
+	c, err := Build(a, whatif.NewSession(s.Catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := whatif.NewSession(s.Catalog)
+	rng := rand.New(rand.NewSource(11))
+	cfgs := make([]*query.Config, 32)
+	want := make([]float64, len(cfgs))
+	for i := range cfgs {
+		cfg, err := workload.RandomAtomicConfig(rng, a, ws, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs[i] = cfg
+		want[i], _, err = c.Cost(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, cfg := range cfgs {
+				got, _, err := c.Cost(cfg)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if math.Float64bits(got) != math.Float64bits(want[i]) {
+					errc <- fmt.Errorf("config %d: concurrent cost %v != serial %v", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
 	}
 }
 

@@ -274,62 +274,81 @@ func (a *Analysis) LookupCost(rel int, ix *catalog.Index, col string) float64 {
 	return cost
 }
 
-// AccessCost evaluates the access cost of one cached-plan leaf requirement
-// under an arbitrary index configuration, considering exactly the access
-// paths the optimizer itself would consider. It returns false when the
-// configuration cannot satisfy the requirement (no covering index for an
-// ordered or lookup access).
-func (a *Analysis) AccessCost(rel int, req LeafReq, cfg *query.Config) (float64, bool) {
-	ri := &a.Rels[rel]
+// LeafApplicable reports whether an index can possibly satisfy a leaf
+// requirement on the given table: it must live on that table and, for
+// ordered and lookup accesses, cover the required column. This is the one
+// authoritative applicability rule — the memoized cache evaluator uses it
+// as its fast-path filter — so any future relaxation belongs here.
+func LeafApplicable(table string, req LeafReq, ix *catalog.Index) bool {
+	if ix.Table != table {
+		return false
+	}
 	switch req.Mode {
 	case AccessAny:
-		best := a.SeqScanCost(rel)
-		if cfg != nil {
-			for _, ix := range cfg.Indexes {
-				if ix.Table != ri.Table.Name {
-					continue
-				}
-				if c := a.IndexScanCost(rel, ix).Cost; c < best {
-					best = c
-				}
-			}
-		}
-		return best, true
-	case AccessOrdered:
-		best := math.Inf(1)
-		if cfg != nil {
-			for _, ix := range cfg.Indexes {
-				if ix.Table != ri.Table.Name || !ix.Covers(req.Col) {
-					continue
-				}
-				if c := a.IndexScanCost(rel, ix).Cost; c < best {
-					best = c
-				}
-			}
-		}
-		if math.IsInf(best, 1) {
-			return 0, false
-		}
-		return best, true
+		return true
+	case AccessOrdered, AccessLookup:
+		return ix.Covers(req.Col)
+	default:
+		return false
+	}
+}
+
+// IndexLeafCost costs satisfying one cached-plan leaf requirement through a
+// single index, or reports that the index cannot satisfy it (LeafApplicable).
+// It is the per-index unit AccessCost minimises over; callers that evaluate
+// many configurations can memoize it, since the result depends only on
+// (rel, req, ix).
+func (a *Analysis) IndexLeafCost(rel int, req LeafReq, ix *catalog.Index) (float64, bool) {
+	if !LeafApplicable(a.Rels[rel].Table.Name, req, ix) {
+		return 0, false
+	}
+	switch req.Mode {
+	case AccessAny, AccessOrdered:
+		return a.IndexScanCost(rel, ix).Cost, true
 	case AccessLookup:
-		best := math.Inf(1)
-		if cfg != nil {
-			for _, ix := range cfg.Indexes {
-				if ix.Table != ri.Table.Name || !ix.Covers(req.Col) {
-					continue
-				}
-				if c := a.LookupCost(rel, ix, req.Col); c < best {
-					best = c
-				}
-			}
-		}
-		if math.IsInf(best, 1) {
-			return 0, false
-		}
-		return best, true
+		return a.LookupCost(rel, ix, req.Col), true
 	default:
 		return 0, false
 	}
+}
+
+// LeafCoster supplies the two primitive leaf costs LeafAccessCost
+// minimises over. Analysis implements it directly; inum.Cache implements
+// it with a memo in front, which is how the cached cost model is
+// guaranteed to price plans exactly as the optimizer does.
+type LeafCoster interface {
+	IndexLeafCost(rel int, req LeafReq, ix *catalog.Index) (float64, bool)
+	SeqScanCost(rel int) float64
+}
+
+// LeafAccessCost evaluates the access cost of one cached-plan leaf
+// requirement under an arbitrary index configuration, considering exactly
+// the access paths the optimizer itself would consider. It returns false
+// when the configuration cannot satisfy the requirement (no covering index
+// for an ordered or lookup access). This is the single minimisation loop
+// both the live Analysis and the memoized cache evaluator go through.
+func LeafAccessCost(lc LeafCoster, rel int, req LeafReq, cfg *query.Config) (float64, bool) {
+	best := math.Inf(1)
+	if req.Mode == AccessAny {
+		best = lc.SeqScanCost(rel)
+	}
+	if cfg != nil {
+		for _, ix := range cfg.Indexes {
+			if c, ok := lc.IndexLeafCost(rel, req, ix); ok && c < best {
+				best = c
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// AccessCost evaluates a leaf requirement under a configuration against
+// the live (unmemoized) cost model.
+func (a *Analysis) AccessCost(rel int, req LeafReq, cfg *query.Config) (float64, bool) {
+	return LeafAccessCost(a, rel, req, cfg)
 }
 
 // OrderedCols returns the relation's interesting orders coverable by the

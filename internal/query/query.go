@@ -360,8 +360,11 @@ func (cfg *Config) Atomic(q *Query) bool {
 	return true
 }
 
-// IndexFor returns the configuration's index on the given table, or nil.
-// For atomic configurations there is at most one.
+// IndexFor returns the configuration's first index on the given table, or
+// nil. For atomic configurations that is the only one; configurations can
+// legitimately hold several indexes per table (self-join covering configs
+// do), and callers that care about which one must iterate Indexes
+// themselves, as Covers does.
 func (cfg *Config) IndexFor(table string) *catalog.Index {
 	for _, ix := range cfg.Indexes {
 		if ix.Table == table {
@@ -374,13 +377,22 @@ func (cfg *Config) IndexFor(table string) *catalog.Index {
 // Covers reports whether the configuration covers the order combination:
 // for every non-Φ slot, the configuration has an index on that relation's
 // table whose leading column is the ordered column (paper §II definition 4).
+// Every index on the slot's table is considered, so self-join combinations
+// needing two different orders on one table are covered by a configuration
+// holding one index per order.
 func (cfg *Config) Covers(q *Query, oc OrderCombo) bool {
 	for i, col := range oc {
 		if col == "" {
 			continue
 		}
-		ix := cfg.IndexFor(q.Rels[i].Table.Name)
-		if ix == nil || !ix.Covers(col) {
+		covered := false
+		for _, ix := range cfg.Indexes {
+			if ix.Table == q.Rels[i].Table.Name && ix.Covers(col) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
 			return false
 		}
 	}

@@ -105,24 +105,25 @@ func (s *Session) AllConfig(extra ...*catalog.Index) *query.Config {
 // what-if questions.
 func (s *Session) CoveringConfig(q *query.Query, oc query.OrderCombo) (*query.Config, error) {
 	cfg := &query.Config{}
-	perTable := make(map[string]bool)
+	done := make(map[string]bool)
 	for i, col := range oc {
 		if col == "" {
 			continue
 		}
 		table := q.Rels[i].Table.Name
-		if perTable[table] {
-			// Self-join slots share the table's physical indexes; one
-			// index cannot cover two different orders, so such combos
-			// are handled table-by-table.
+		// Self-join slots share the table's physical indexes: one index
+		// per distinct (table, order) pair suffices, since each relation
+		// occurrence picks its own access path.
+		key := table + ":" + col
+		if done[key] {
 			continue
 		}
+		done[key] = true
 		ix, err := s.CreateIndex(table, col)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Indexes = append(cfg.Indexes, ix)
-		perTable[table] = true
 	}
 	return cfg, nil
 }

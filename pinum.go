@@ -26,8 +26,12 @@
 // or, for index selection:
 //
 //	adv := db.NewAdvisor(5 * pinum.GB)
-//	adv.AddQuery(q)
+//	err = adv.AddQuery(q, 1)                  // query with frequency weight
 //	result, err := adv.Run()
+//
+// Whole workloads batch-build their caches across a worker pool:
+//
+//	caches, err := db.BuildPlanCaches(queries, pinum.WithWorkers(8))
 package pinum
 
 import (
@@ -146,6 +150,47 @@ func (db *Database) BuildPlanCache(q *Query) (*PlanCache, error) {
 		return nil, err
 	}
 	return core.Build(a, whatif.NewSession(db.cat))
+}
+
+// BuildOption configures batch plan-cache construction (BuildPlanCaches).
+type BuildOption func(*buildOptions)
+
+type buildOptions struct {
+	workers int
+	precise bool
+}
+
+// WithWorkers bounds the construction worker pool. n <= 0 (the default)
+// means one worker per available CPU.
+func WithWorkers(n int) BuildOption {
+	return func(o *buildOptions) { o.workers = n }
+}
+
+// WithPrecise enables the §V-D high-accuracy nested-loop refinement for
+// every cache in the batch.
+func WithPrecise() BuildOption {
+	return func(o *buildOptions) { o.precise = true }
+}
+
+// BuildPlanCaches fills one PINUM plan cache per query across a bounded
+// worker pool: each worker owns a private what-if session, and results are
+// merged in query order, so caches[i] belongs to queries[i] and the output
+// is deterministic regardless of scheduling. This is the batch entry point
+// workload tools (the advisor, the experiment drivers) build on.
+func (db *Database) BuildPlanCaches(queries []*Query, opts ...BuildOption) ([]*PlanCache, error) {
+	var o buildOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	analyses := make([]*optimizer.Analysis, len(queries))
+	for i, q := range queries {
+		a, err := db.Analyze(q)
+		if err != nil {
+			return nil, err
+		}
+		analyses[i] = a
+	}
+	return core.BuildAll(analyses, db.cat, o.workers, o.precise)
 }
 
 // BuildPlanCachePrecise fills the cache with the §V-D high-accuracy

@@ -128,6 +128,61 @@ func TestFacadeMaterializeAndExecute(t *testing.T) {
 	}
 }
 
+func TestBuildPlanCachesMatchesSerial(t *testing.T) {
+	star, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabaseWith(star.Catalog, star.Stats)
+	qs, err := star.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = qs[:5]
+	batch, err := db.BuildPlanCaches(qs, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(qs) {
+		t.Fatalf("got %d caches for %d queries", len(batch), len(qs))
+	}
+	for i, q := range qs {
+		if batch[i].Q.Name != q.Name {
+			t.Fatalf("cache %d belongs to %s, want %s (order not preserved)", i, batch[i].Q.Name, q.Name)
+		}
+		serial, err := db.BuildPlanCache(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Stats.OptimizerCalls != serial.Stats.OptimizerCalls ||
+			batch[i].Stats.PlansCached != serial.Stats.PlansCached {
+			t.Errorf("%s: batch cache stats %+v != serial %+v", q.Name, batch[i].Stats, serial.Stats)
+		}
+		bc, _, err := batch[i].Cost(&Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, _, err := serial.Cost(&Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bc != sc {
+			t.Errorf("%s: batch base cost %v != serial %v", q.Name, bc, sc)
+		}
+	}
+}
+
+func TestBuildPlanCachesEmpty(t *testing.T) {
+	db := demoDB(t)
+	caches, err := db.BuildPlanCaches(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caches) != 0 {
+		t.Errorf("got %d caches for an empty workload", len(caches))
+	}
+}
+
 func TestParseQueryErrors(t *testing.T) {
 	db := demoDB(t)
 	if _, err := db.ParseQuery("SELECT nope FROM orders", "bad"); err == nil {
