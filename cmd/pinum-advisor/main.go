@@ -3,6 +3,7 @@
 //
 //	pinum-advisor -budget 5            # 5 GB budget, 10-query workload
 //	pinum-advisor -budget 2 -max 6
+//	pinum-advisor -workers 4           # bound the build/search worker pool
 package main
 
 import (
@@ -20,6 +21,7 @@ func main() {
 	budget := flag.Float64("budget", 5, "index space budget in GB")
 	maxIdx := flag.Int("max", 0, "maximum number of indexes (0 = unlimited)")
 	seed := flag.Int64("seed", 42, "workload seed")
+	workers := flag.Int("workers", 0, "worker pool size for cache construction and the greedy search (0 = all CPUs, 1 = serial; results are identical at any setting)")
 	flag.Parse()
 
 	star, err := workload.StarSchema(1.0)
@@ -33,23 +35,32 @@ func main() {
 	db := pinum.NewDatabaseWith(star.Catalog, star.Stats)
 	adv := db.NewAdvisor(storage.BytesForGB(*budget))
 	adv.MaxIndexes = *maxIdx
+	adv.Parallelism = *workers
 
 	start := time.Now()
-	for _, q := range qs {
-		if err := adv.AddQuery(q, 1); err != nil {
-			fatal(err)
-		}
+	if err := adv.AddQueries(qs, nil); err != nil {
+		fatal(err)
 	}
 	n := adv.GenerateCandidates()
 	fmt.Printf("workload: %d queries; candidates: %d; caches built with %s\n",
 		len(qs), n, time.Since(start).Round(time.Millisecond))
+	if errs := adv.GenerationErrors(); len(errs) > 0 {
+		fmt.Printf("WARNING: %d candidate generations failed (first: %v)\n", len(errs), errs[0])
+	}
 
 	res, err := adv.Run()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("greedy selection: %d rounds over %d candidates in %s (no optimizer calls)\n\n",
+	fmt.Printf("greedy selection: %d rounds over %d candidates in %s (no optimizer calls)\n",
 		res.Rounds, res.CandidateCount, res.Duration.Round(time.Millisecond))
+	visits := res.Engine.QueryEvals + res.Engine.QuerySkips
+	pruned := 0.0
+	if visits > 0 {
+		pruned = float64(res.Engine.QuerySkips) / float64(visits)
+	}
+	fmt.Printf("cost engine: %d candidate evaluations; %d query deltas computed, %d skipped by the table index (%.0f%% pruned)\n\n",
+		res.Engine.CandidateEvals, res.Engine.QueryEvals, res.Engine.QuerySkips, 100*pruned)
 	fmt.Printf("suggested indexes (%.2f GB of %.2f GB budget):\n",
 		storage.GigaBytes(res.TotalBytes), *budget)
 	for i, ix := range res.Chosen {

@@ -5,16 +5,25 @@
 // costs arithmetic, not optimizer calls — the property that lets the simple
 // greedy search use "a significantly larger candidate index set" than
 // commercial designers.
+//
+// The greedy search runs on the incremental cost engine of
+// internal/costmatrix: each round prices chosen+candidate as a delta over
+// the shared per-(query, plan, relation) cost matrix instead of re-pricing
+// the whole workload, and a table→queries index skips queries the
+// candidate cannot affect. Results are bit-identical to the full
+// re-pricing search, which RunReference retains as the oracle.
 package advisor
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/pinumdb/pinum/internal/catalog"
 	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/costmatrix"
 	"github.com/pinumdb/pinum/internal/inum"
 	"github.com/pinumdb/pinum/internal/optimizer"
 	"github.com/pinumdb/pinum/internal/query"
@@ -37,7 +46,8 @@ type QueryState struct {
 
 // Result reports the advisor's suggestion.
 type Result struct {
-	// Chosen is the selected index set, in pick order.
+	// Chosen is the selected index set, in pick order (one entry per
+	// greedy round, so this doubles as the per-round pick log).
 	Chosen []*catalog.Index
 	// TotalBytes is the footprint of the chosen set.
 	TotalBytes int64
@@ -51,8 +61,18 @@ type Result struct {
 	// (cache construction only — the greedy loop itself makes none).
 	OptimizerCalls int
 	// Rounds is the number of greedy iterations performed.
-	Rounds   int
-	Duration time.Duration
+	Rounds int
+	// Engine reports the incremental cost engine's work: how many
+	// per-query delta evaluations the greedy rounds performed
+	// (Engine.QueryEvals) and how many the table→queries index skipped
+	// outright (Engine.QuerySkips). All-zero after RunReference, which
+	// re-prices every query for every candidate.
+	Engine costmatrix.Stats
+	// GenerationErrors records candidate-generation failures
+	// (GenerateCandidates index creations that were rejected); the
+	// corresponding candidates are absent from the search.
+	GenerationErrors []error
+	Duration         time.Duration
 }
 
 // Advisor selects indexes for a workload under a space budget.
@@ -73,13 +93,21 @@ type Advisor struct {
 
 	queries    []*QueryState
 	candidates []*catalog.Index
+	seen       map[string]bool // candidate names, the shared dedup set
+	genErrs    []error
 	ws         *whatif.Session
 	calls      int
 }
 
 // New returns an advisor over the catalog and statistics.
 func New(cat *catalog.Catalog, st *stats.Store, budgetBytes int64) *Advisor {
-	return &Advisor{cat: cat, st: st, BudgetBytes: budgetBytes, ws: whatif.NewSession(cat)}
+	return &Advisor{
+		cat:         cat,
+		st:          st,
+		BudgetBytes: budgetBytes,
+		seen:        make(map[string]bool),
+		ws:          whatif.NewSession(cat),
+	}
 }
 
 // AddQuery registers a workload query with the given frequency weight,
@@ -149,19 +177,17 @@ func (ad *Advisor) AddQueries(queries []*query.Query, weights []float64) error {
 // registered queries ("statically analyses the queries to find a large set
 // of candidate indexes"): single-column indexes on every referenced column,
 // two-column order+column indexes, and covering indexes per interesting
-// order and per relation.
+// order and per relation. Index-creation failures are recorded
+// (GenerationErrors, surfaced on the Result) instead of silently dropped.
 func (ad *Advisor) GenerateCandidates() int {
-	seen := make(map[string]bool)
 	add := func(table string, cols ...string) {
 		ix, err := ad.ws.CreateIndex(table, cols...)
 		if err != nil {
+			ad.genErrs = append(ad.genErrs,
+				fmt.Errorf("advisor: candidate %s(%s): %w", table, strings.Join(cols, ","), err))
 			return
 		}
-		if seen[ix.Name] {
-			return
-		}
-		seen[ix.Name] = true
-		ad.candidates = append(ad.candidates, ix)
+		ad.addCandidate(ix)
 	}
 	for _, qs := range ad.queries {
 		for i := range qs.A.Rels {
@@ -198,9 +224,30 @@ func (ad *Advisor) GenerateCandidates() int {
 	return len(ad.candidates)
 }
 
-// AddCandidate registers an externally supplied candidate index.
-func (ad *Advisor) AddCandidate(ix *catalog.Index) {
+// GenerationErrors returns the candidate-generation failures recorded so
+// far.
+func (ad *Advisor) GenerationErrors() []error { return ad.genErrs }
+
+// AddCandidate registers an externally supplied candidate index,
+// deduplicating by name against both earlier AddCandidate calls and
+// generated candidates. It reports whether the candidate was new.
+func (ad *Advisor) AddCandidate(ix *catalog.Index) bool {
+	return ad.addCandidate(ix)
+}
+
+// addCandidate appends ix unless a candidate of the same name is already
+// registered — the one dedup gate both GenerateCandidates and AddCandidate
+// go through.
+func (ad *Advisor) addCandidate(ix *catalog.Index) bool {
+	if ad.seen == nil {
+		ad.seen = make(map[string]bool)
+	}
+	if ad.seen[ix.Name] {
+		return false
+	}
+	ad.seen[ix.Name] = true
 	ad.candidates = append(ad.candidates, ix)
+	return true
 }
 
 // workloadCost estimates the weighted workload cost under a configuration
@@ -208,8 +255,8 @@ func (ad *Advisor) AddCandidate(ix *catalog.Index) {
 // sub-configuration: for every relation, the cost model already minimises
 // over the configuration's indexes on that table, so passing the full set
 // is equivalent to the best atomic choice per cached plan. It allocates
-// nothing beyond the Config wrapper — it runs once per candidate per
-// greedy round.
+// nothing beyond the Config wrapper — RunReference runs it once per
+// candidate per greedy round.
 func (ad *Advisor) workloadCost(chosen []*catalog.Index) (float64, error) {
 	cfg := &query.Config{Indexes: chosen}
 	total := 0.0
@@ -223,40 +270,75 @@ func (ad *Advisor) workloadCost(chosen []*catalog.Index) (float64, error) {
 	return total, nil
 }
 
-// workloadCostPer is workloadCost plus the per-query cost breakdown, for
-// the bookend calls that fill Result.PerQuery.
-func (ad *Advisor) workloadCostPer(chosen []*catalog.Index) (float64, map[string]float64, error) {
+// workloadCostPer is workloadCost plus the per-query cost breakdown
+// (aligned with ad.queries), for the bookend calls that fill
+// Result.PerQuery on the reference path.
+func (ad *Advisor) workloadCostPer(chosen []*catalog.Index) (float64, []float64, error) {
 	cfg := &query.Config{Indexes: chosen}
 	total := 0.0
-	per := make(map[string]float64, len(ad.queries))
-	for _, qs := range ad.queries {
+	per := make([]float64, len(ad.queries))
+	for i, qs := range ad.queries {
 		c, _, err := qs.Cache.Cost(cfg)
 		if err != nil {
 			return 0, nil, err
 		}
 		total += qs.Weight * c
-		per[qs.Query.Name] = c
+		per[i] = c
 	}
 	return total, per, nil
 }
 
-// evaluateRound prices chosen+candidate for every eligible candidate,
-// fanning the evaluations over the advisor's worker pool. It returns one
-// workload cost per entry of eligible (indexes into remaining). Each
-// worker owns one configuration slice (a copy of the chosen prefix plus a
-// final slot it rewrites per candidate), so goroutines never share a
-// backing array — which relies on Cache.Cost not retaining the slice it
-// is passed.
-func (ad *Advisor) evaluateRound(chosen, remaining []*catalog.Index, eligible []int) ([]float64, error) {
+// pricer abstracts how a greedy run prices configurations, so the
+// engine-backed search (Run) and the full-repricing reference
+// (RunReference) share one selection loop and differ only in arithmetic
+// cost — never in results.
+type pricer interface {
+	// baseline returns the workload cost and per-query costs (aligned with
+	// ad.queries) under no indexes.
+	baseline() (float64, []float64, error)
+	// evaluateRound prices chosen+remaining[i] for every i in eligible,
+	// fanning the evaluations over the advisor's worker pool, and returns
+	// one workload cost per eligible entry.
+	evaluateRound(chosen, remaining []*catalog.Index, eligible []int) ([]float64, error)
+	// commit applies the round's pick to any incremental state.
+	commit(pick *catalog.Index)
+	// final returns the workload cost and per-query costs under chosen.
+	final(chosen []*catalog.Index) (float64, []float64, error)
+	// stats reports the engine work performed (all-zero for the reference).
+	stats() costmatrix.Stats
+}
+
+// referencePricer prices every configuration from scratch through
+// Cache.Cost — the pre-engine greedy search, kept as the oracle the
+// equivalence tests and benchmarks compare the incremental engine against.
+type referencePricer struct{ ad *Advisor }
+
+func (p *referencePricer) baseline() (float64, []float64, error) {
+	return p.ad.workloadCostPer(nil)
+}
+
+func (p *referencePricer) final(chosen []*catalog.Index) (float64, []float64, error) {
+	return p.ad.workloadCostPer(chosen)
+}
+
+func (p *referencePricer) commit(*catalog.Index) {}
+
+func (p *referencePricer) stats() costmatrix.Stats { return costmatrix.Stats{} }
+
+// evaluateRound re-prices the whole workload per candidate. Each worker
+// owns one configuration slice (a copy of the chosen prefix plus a final
+// slot it rewrites per candidate), so goroutines never share a backing
+// array — which relies on Cache.Cost not retaining the slice it is passed.
+func (p *referencePricer) evaluateRound(chosen, remaining []*catalog.Index, eligible []int) ([]float64, error) {
 	costs := make([]float64, len(eligible))
 	errs := make([]error, len(eligible))
-	core.Fan(len(eligible), ad.Parallelism, func() func(int) {
+	core.Fan(len(eligible), p.ad.Parallelism, func() func(int) {
 		// Each worker reuses one config slice; only its last slot varies.
 		cfg := make([]*catalog.Index, len(chosen)+1)
 		copy(cfg, chosen)
 		return func(j int) {
 			cfg[len(chosen)] = remaining[eligible[j]]
-			costs[j], errs[j] = ad.workloadCost(cfg)
+			costs[j], errs[j] = p.ad.workloadCost(cfg)
 		}
 	})
 	for _, err := range errs {
@@ -267,29 +349,87 @@ func (ad *Advisor) evaluateRound(chosen, remaining []*catalog.Index, eligible []
 	return costs, nil
 }
 
-// Run executes the greedy selection loop: in each round, evaluate every
-// remaining candidate alongside the already-chosen set, keep the one with
-// the highest benefit, and stop when the budget is exhausted or no
+// enginePricer prices rounds through the incremental cost engine: each
+// candidate evaluation touches only the plans on the candidate's table,
+// and committed picks update the matrix in place.
+type enginePricer struct {
+	ad  *Advisor
+	eng *costmatrix.Engine
+}
+
+func (p *enginePricer) baseline() (float64, []float64, error) {
+	return p.eng.TotalCost(), p.eng.QueryCosts(), nil
+}
+
+func (p *enginePricer) final([]*catalog.Index) (float64, []float64, error) {
+	return p.eng.TotalCost(), p.eng.QueryCosts(), nil
+}
+
+func (p *enginePricer) commit(pick *catalog.Index) { p.eng.Apply(pick) }
+
+func (p *enginePricer) stats() costmatrix.Stats { return p.eng.Stats() }
+
+func (p *enginePricer) evaluateRound(_, remaining []*catalog.Index, eligible []int) ([]float64, error) {
+	costs := make([]float64, len(eligible))
+	core.Fan(len(eligible), p.ad.Parallelism, func() func(int) {
+		return func(j int) {
+			costs[j] = p.eng.EvaluateCandidate(remaining[eligible[j]])
+		}
+	})
+	return costs, nil
+}
+
+// Run executes the greedy selection loop on the incremental cost engine:
+// in each round, evaluate every remaining candidate alongside the
+// already-chosen set as a delta over the shared cost matrix, keep the one
+// with the highest benefit, and stop when the budget is exhausted or no
 // candidate helps. Candidate evaluations within a round run across the
 // advisor's worker pool (Parallelism); the result is bit-identical to the
-// serial search.
+// serial search and to RunReference.
 func (ad *Advisor) Run() (*Result, error) {
 	start := time.Now()
 	if len(ad.queries) == 0 {
 		return nil, fmt.Errorf("advisor: no queries registered")
 	}
+	specs := make([]costmatrix.Query, len(ad.queries))
+	for i, qs := range ad.queries {
+		specs[i] = costmatrix.Query{Cache: qs.Cache, Weight: qs.Weight}
+	}
+	eng, err := costmatrix.New(specs)
+	if err != nil {
+		return nil, err
+	}
+	return ad.runGreedy(&enginePricer{ad: ad, eng: eng}, start)
+}
+
+// RunReference executes the same greedy selection by re-pricing every
+// query × candidate from scratch through Cache.Cost each round — the
+// pre-engine search. It is retained as the oracle: equivalence tests
+// assert Run's chosen set, per-round picks, and costs are bit-identical to
+// it, and benchmarks quantify the engine's speedup against it.
+func (ad *Advisor) RunReference() (*Result, error) {
+	start := time.Now()
+	if len(ad.queries) == 0 {
+		return nil, fmt.Errorf("advisor: no queries registered")
+	}
+	return ad.runGreedy(&referencePricer{ad: ad}, start)
+}
+
+// runGreedy is the selection loop both pricers share: budget filtering,
+// the per-round fan-out, and the deterministic reduce.
+func (ad *Advisor) runGreedy(p pricer, start time.Time) (*Result, error) {
 	if len(ad.candidates) == 0 {
 		ad.GenerateCandidates()
 	}
 	res := &Result{PerQuery: make(map[string][2]float64), CandidateCount: len(ad.candidates)}
 
-	baseTotal, basePer, err := ad.workloadCostPer(nil)
+	baseTotal, basePer, err := p.baseline()
 	if err != nil {
 		return nil, err
 	}
 	res.BaseCost = baseTotal
-	for name, c := range basePer {
-		res.PerQuery[name] = [2]float64{c, c}
+	for i, qs := range ad.queries {
+		res.PerQuery[qs.Query.Name] = [2]float64{basePer[i], basePer[i]}
 	}
 
 	remaining := append([]*catalog.Index(nil), ad.candidates...)
@@ -308,7 +448,7 @@ func (ad *Advisor) Run() (*Result, error) {
 				eligible = append(eligible, i)
 			}
 		}
-		costs, err := ad.evaluateRound(chosen, remaining, eligible)
+		costs, err := p.evaluateRound(chosen, remaining, eligible)
 		if err != nil {
 			return nil, err
 		}
@@ -332,10 +472,11 @@ func (ad *Advisor) Run() (*Result, error) {
 		usedBytes += storage.IndexBytes(pick)
 		current = bestCost
 		remaining = append(remaining[:bestIdx:bestIdx], remaining[bestIdx+1:]...)
+		p.commit(pick)
 		res.Rounds++
 	}
 
-	finalTotal, finalPer, err := ad.workloadCostPer(chosen)
+	finalTotal, finalPer, err := p.final(chosen)
 	if err != nil {
 		return nil, err
 	}
@@ -343,11 +484,13 @@ func (ad *Advisor) Run() (*Result, error) {
 	res.TotalBytes = usedBytes
 	res.FinalCost = finalTotal
 	res.OptimizerCalls = ad.calls
-	for name, c := range finalPer {
-		e := res.PerQuery[name]
-		e[1] = c
-		res.PerQuery[name] = e
+	for i, qs := range ad.queries {
+		e := res.PerQuery[qs.Query.Name]
+		e[1] = finalPer[i]
+		res.PerQuery[qs.Query.Name] = e
 	}
+	res.Engine = p.stats()
+	res.GenerationErrors = append([]error(nil), ad.genErrs...)
 	res.Duration = time.Since(start)
 	return res, nil
 }

@@ -1,9 +1,11 @@
 package advisor
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
+	"github.com/pinumdb/pinum/internal/costmatrix"
 	"github.com/pinumdb/pinum/internal/optimizer"
 	"github.com/pinumdb/pinum/internal/query"
 	"github.com/pinumdb/pinum/internal/storage"
@@ -267,12 +269,201 @@ func TestExternalCandidates(t *testing.T) {
 	}
 	_ = a
 	ix := storage.HypotheticalIndex("custom", s.Catalog.Table("fact"), []string{"a1", "m1"})
-	ad.AddCandidate(ix)
+	if !ad.AddCandidate(ix) {
+		t.Error("first AddCandidate rejected")
+	}
 	res, err := ad.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.CandidateCount != 1 {
 		t.Errorf("candidate count %d, want 1 (only the external one)", res.CandidateCount)
+	}
+}
+
+// TestAddCandidateDedupesByName checks the shared dedup set: repeated
+// external candidates and external duplicates of generated candidates are
+// both rejected by name.
+func TestAddCandidateDedupesByName(t *testing.T) {
+	s, ad, _ := setup(t, 5, 2)
+	ix := storage.HypotheticalIndex("custom", s.Catalog.Table("fact"), []string{"a1", "m1"})
+	if !ad.AddCandidate(ix) {
+		t.Fatal("first AddCandidate rejected")
+	}
+	if ad.AddCandidate(ix) {
+		t.Error("duplicate AddCandidate accepted")
+	}
+	same := storage.HypotheticalIndex("custom", s.Catalog.Table("fact"), []string{"m2"})
+	if ad.AddCandidate(same) {
+		t.Error("same-named candidate accepted")
+	}
+	n := ad.GenerateCandidates()
+	if n <= 1 {
+		t.Fatalf("generation produced %d candidates", n)
+	}
+	if ad.AddCandidate(ad.candidates[1]) {
+		t.Error("generated candidate re-added externally")
+	}
+	if len(ad.candidates) != n {
+		t.Errorf("candidate list grew to %d after duplicate adds, want %d", len(ad.candidates), n)
+	}
+	if errs := ad.GenerationErrors(); len(errs) != 0 {
+		t.Errorf("healthy workload recorded generation errors: %v", errs)
+	}
+}
+
+// assertIdenticalResults fails unless the two results are bit-identical:
+// same picks in the same per-round order, bit-equal base/final and
+// per-query costs, same byte budget and round count.
+func assertIdenticalResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(want.Chosen) == 0 {
+		t.Fatalf("%s: reference chose nothing; the comparison is vacuous", label)
+	}
+	if len(got.Chosen) != len(want.Chosen) {
+		t.Fatalf("%s: chose %d indexes, reference %d", label, len(got.Chosen), len(want.Chosen))
+	}
+	for i := range want.Chosen {
+		if got.Chosen[i].Key() != want.Chosen[i].Key() {
+			t.Errorf("%s: round %d pick %s, reference %s", label, i, got.Chosen[i].Key(), want.Chosen[i].Key())
+		}
+	}
+	if math.Float64bits(got.BaseCost) != math.Float64bits(want.BaseCost) {
+		t.Errorf("%s: base cost %v, reference %v", label, got.BaseCost, want.BaseCost)
+	}
+	if math.Float64bits(got.FinalCost) != math.Float64bits(want.FinalCost) {
+		t.Errorf("%s: final cost %v, reference %v", label, got.FinalCost, want.FinalCost)
+	}
+	if got.TotalBytes != want.TotalBytes || got.Rounds != want.Rounds {
+		t.Errorf("%s: (%d bytes, %d rounds), reference (%d bytes, %d rounds)",
+			label, got.TotalBytes, got.Rounds, want.TotalBytes, want.Rounds)
+	}
+	if len(got.PerQuery) != len(want.PerQuery) {
+		t.Fatalf("%s: %d per-query entries, reference %d", label, len(got.PerQuery), len(want.PerQuery))
+	}
+	for name, we := range want.PerQuery {
+		ge, ok := got.PerQuery[name]
+		if !ok || math.Float64bits(ge[0]) != math.Float64bits(we[0]) ||
+			math.Float64bits(ge[1]) != math.Float64bits(we[1]) {
+			t.Errorf("%s: %s per-query costs %v, reference %v", label, name, ge, we)
+		}
+	}
+}
+
+// TestRunMatchesReferenceStarWorkload is the tentpole's equivalence
+// guarantee on the full star workload: the incremental engine's chosen
+// set, per-round picks, and costs are bit-identical to the naive
+// full-repricing reference, at every Parallelism setting — and the engine
+// stats prove the table index actually pruned work.
+func TestRunMatchesReferenceStarWorkload(t *testing.T) {
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 8} {
+		ad := New(s.Catalog, s.Stats, storage.BytesForGB(5))
+		ad.Parallelism = par
+		if err := ad.AddQueries(qs, nil); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := ad.RunReference()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ad.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("parallelism=%d", par)
+		assertIdenticalResults(t, label, got, ref)
+
+		// Engine-work accounting: every candidate evaluation visits each
+		// query exactly once, as a delta or as a skip; the reference does
+		// no delta work at all.
+		st := got.Engine
+		if st.QueryEvals == 0 || st.CandidateEvals == 0 {
+			t.Errorf("%s: engine did no work: %+v", label, st)
+		}
+		if st.QuerySkips == 0 {
+			t.Errorf("%s: table index skipped nothing on a workload with unreferenced tables: %+v", label, st)
+		}
+		if st.QueryEvals+st.QuerySkips != st.CandidateEvals*int64(len(qs)) {
+			t.Errorf("%s: evals %d + skips %d != candidate evals %d × %d queries",
+				label, st.QueryEvals, st.QuerySkips, st.CandidateEvals, len(qs))
+		}
+		if st.Applies != int64(got.Rounds) {
+			t.Errorf("%s: %d applies for %d rounds", label, st.Applies, got.Rounds)
+		}
+		if ref.Engine != (costmatrix.Stats{}) {
+			t.Errorf("%s: reference run reported engine stats: %+v", label, ref.Engine)
+		}
+	}
+}
+
+// selfJoinQuery builds a query joining dim1_1 to itself, plus a filter, so
+// one table owns two relation slots with different requirements.
+func selfJoinQuery(t *testing.T, s *workload.Star, name string, orderCol string) *query.Query {
+	t.Helper()
+	d := s.Catalog.Table("dim1_1")
+	if d == nil {
+		t.Fatal("no dim1_1 table")
+	}
+	q := &query.Query{
+		Name: name,
+		Rels: []query.Rel{{Table: d, Alias: "e"}, {Table: d, Alias: "m"}},
+		Joins: []query.Join{{
+			Left:  query.ColRef{Rel: 0, Column: "a1"},
+			Right: query.ColRef{Rel: 1, Column: "id"},
+		}},
+		Filters: []query.Filter{{
+			Col: query.ColRef{Rel: 0, Column: "a2"}, Op: query.Between, Value: 1, Value2: 1000,
+		}},
+		Select:  []query.ColRef{{Rel: 0, Column: "id"}, {Rel: 1, Column: "a2"}},
+		OrderBy: []query.ColRef{{Rel: 1, Column: orderCol}},
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestRunMatchesReferenceRandomizedWorkloads re-runs the equivalence check
+// over randomized multi-table workloads (different generation seeds, mixed
+// weights) that include self-join queries.
+func TestRunMatchesReferenceRandomizedWorkloads(t *testing.T) {
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{7, 19, 23} {
+		qs, err := s.Queries(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs[:5],
+			selfJoinQuery(t, s, fmt.Sprintf("SJ%d-a", seed), "a2"),
+			selfJoinQuery(t, s, fmt.Sprintf("SJ%d-b", seed), "a3"))
+		weights := make([]float64, len(qs))
+		for i := range weights {
+			weights[i] = float64(1 + (int(seed)+i)%4)
+		}
+		ad := New(s.Catalog, s.Stats, storage.BytesForGB(3))
+		ad.Parallelism = 4
+		if err := ad.AddQueries(qs, weights); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := ad.RunReference()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ad.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalResults(t, fmt.Sprintf("seed=%d", seed), got, ref)
 	}
 }

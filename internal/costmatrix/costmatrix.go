@@ -1,0 +1,279 @@
+// Package costmatrix implements the incremental workload-cost engine the
+// advisor's greedy search runs on: a shared cost matrix over (query, plan,
+// relation) that turns each candidate evaluation from a full re-pricing of
+// the workload into a delta computation.
+//
+// The INUM/CoPhy-style decomposition the engine exploits is that a cached
+// plan's cost is Internal + Σ coef × accessCost(leaf, C), and accessCost is
+// a min over the configuration's indexes per relation. Adding one candidate
+// index to an already-priced configuration therefore only changes leaves on
+// the candidate's table, and the new per-leaf cost is
+// min(currentBest[rel], leafCost(candidate)) — no other index in the
+// configuration needs to be looked at again. A workload-level inverted
+// index (table → queries) skips entirely the queries that never reference
+// the candidate's table.
+//
+// The engine's results are bit-identical to pricing each configuration from
+// scratch through inum.Cache.Cost: per-leaf minimisation visits indexes in
+// the same order (applied set in pick order, candidate last) with the same
+// strict < rule, per-plan summation accumulates coef × leaf in relation
+// order starting from the internal cost, plan choice scans plans in cache
+// order with strict improvement, and workload totals sum weight × query
+// cost in registration order. Floating-point min and identical accumulation
+// orders make every intermediate equal down to the last bit.
+package costmatrix
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/inum"
+)
+
+// Query is one workload entry: a built plan cache and its frequency weight
+// (weights <= 0 count as 1, matching the advisor's normalisation).
+type Query struct {
+	Cache  *inum.Cache
+	Weight float64
+}
+
+// Stats counts the pricing work an engine performed. The interesting ratio
+// is QuerySkips : QueryEvals — how much of the workload the table→queries
+// index pruned away without touching a single plan.
+type Stats struct {
+	// CandidateEvals is the number of EvaluateCandidate calls
+	// (candidates × rounds in a greedy search).
+	CandidateEvals int64
+	// QueryEvals is the number of per-query delta evaluations performed —
+	// the query referenced the candidate's table, so its plans were
+	// re-summed.
+	QueryEvals int64
+	// QuerySkips is the number of per-query evaluations skipped because
+	// the table index proved the candidate cannot affect the query.
+	QuerySkips int64
+	// PlanEvals is the number of per-plan cost recomputations inside the
+	// performed query evaluations.
+	PlanEvals int64
+	// Applies is the number of committed picks.
+	Applies int64
+}
+
+// planState is the live state of one cached plan under the applied set.
+type planState struct {
+	cp *inum.CachedPlan
+	// leafBest[rel] is the best access cost for relation rel over the
+	// applied indexes (+Inf while no applied index satisfies an ordered or
+	// lookup requirement). It is maintained with exactly the minimisation
+	// LeafAccessCost runs, one applied index at a time, in pick order.
+	leafBest []float64
+}
+
+// queryState is the live state of one workload query.
+type queryState struct {
+	cache  *inum.Cache
+	weight float64
+	// relsOnTable maps a table name to the query's relation slots on that
+	// table, ascending — several slots for self-joins.
+	relsOnTable map[string][]int
+	plans       []planState
+	// best is the winning plan cost under the applied set (what
+	// Cache.Cost would return for the equivalent configuration).
+	best float64
+}
+
+// Engine prices a workload incrementally under a growing index set.
+// EvaluateCandidate is safe for concurrent use (a greedy round fans
+// candidates over a worker pool); New and Apply are not, and must not run
+// concurrently with evaluations.
+type Engine struct {
+	queries []*queryState
+	// byTable maps a table name to the queries referencing it, ascending.
+	byTable map[string][]int
+	chosen  []*catalog.Index
+	// total is the weighted workload cost under the applied set, summed in
+	// registration order.
+	total float64
+
+	candidateEvals atomic.Int64
+	queryEvals     atomic.Int64
+	querySkips     atomic.Int64
+	planEvals      atomic.Int64
+	applies        atomic.Int64
+}
+
+// New builds an engine over the workload, priced under the empty
+// configuration. It fails if any query has no applicable cached plan (an
+// empty cache), mirroring Cache.Cost's error.
+func New(queries []Query) (*Engine, error) {
+	e := &Engine{byTable: make(map[string][]int)}
+	for qi, in := range queries {
+		c := in.Cache
+		if c == nil {
+			return nil, fmt.Errorf("costmatrix: query %d has no plan cache", qi)
+		}
+		w := in.Weight
+		if w <= 0 {
+			w = 1
+		}
+		qs := &queryState{cache: c, weight: w, relsOnTable: make(map[string][]int)}
+		for rel, r := range c.Q.Rels {
+			t := r.Table.Name
+			qs.relsOnTable[t] = append(qs.relsOnTable[t], rel)
+		}
+		// Queries are processed in registration order, so each per-table
+		// list stays ascending without sorting.
+		for t := range qs.relsOnTable {
+			e.byTable[t] = append(e.byTable[t], qi)
+		}
+		qs.plans = make([]planState, len(c.Plans))
+		for i, cp := range c.Plans {
+			qs.plans[i] = planState{cp: cp, leafBest: c.BaseLeafCosts(cp)}
+		}
+		qs.best = qs.costWith(nil)
+		if math.IsInf(qs.best, 1) {
+			return nil, fmt.Errorf("costmatrix: no applicable cached plan for query %s under the empty configuration", c.Q.Name)
+		}
+		e.queries = append(e.queries, qs)
+	}
+	e.recomputeTotal()
+	return e, nil
+}
+
+// costWith returns the query's best cached-plan cost under the applied set
+// plus an optional extra candidate (nil = applied set only). The
+// arithmetic replicates Cache.Cost exactly: per leaf, the candidate folds
+// into the stored minimum with the same strict < an index appended last to
+// the configuration would see; the plan total accumulates coef × leaf in
+// relation order from the internal cost; the plan choice scans plans in
+// cache order with strict improvement.
+func (qs *queryState) costWith(extra *catalog.Index) float64 {
+	var rels []int
+	if extra != nil {
+		rels = qs.relsOnTable[extra.Table]
+	}
+	best := math.Inf(1)
+	for pi := range qs.plans {
+		ps := &qs.plans[pi]
+		cost := ps.cp.Internal
+		ok := true
+		ri := 0
+		for rel, req := range ps.cp.Leaves {
+			l := ps.leafBest[rel]
+			if ri < len(rels) && rels[ri] == rel {
+				ri++
+				if c, o := qs.cache.IndexLeafCost(rel, req, extra); o && c < l {
+					l = c
+				}
+			}
+			if math.IsInf(l, 1) {
+				ok = false
+				break
+			}
+			cost += req.Coef * l
+		}
+		if ok && cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+// recomputeTotal refreshes the workload total as the same in-order weighted
+// sum EvaluateCandidate produces, so committed and evaluated totals agree
+// bit-for-bit.
+func (e *Engine) recomputeTotal() {
+	total := 0.0
+	for _, qs := range e.queries {
+		total += qs.weight * qs.best
+	}
+	e.total = total
+}
+
+// TotalCost returns the weighted workload cost under the applied set.
+func (e *Engine) TotalCost() float64 { return e.total }
+
+// QueryCosts returns the current per-query costs under the applied set, in
+// registration order (unweighted, as Cache.Cost reports them).
+func (e *Engine) QueryCosts() []float64 {
+	out := make([]float64, len(e.queries))
+	for i, qs := range e.queries {
+		out[i] = qs.best
+	}
+	return out
+}
+
+// Chosen returns the applied indexes in pick order.
+func (e *Engine) Chosen() []*catalog.Index {
+	return append([]*catalog.Index(nil), e.chosen...)
+}
+
+// EvaluateCandidate prices the workload under the applied set plus ix,
+// without committing anything. Only queries referencing ix's table are
+// re-priced — every other query contributes its stored cost — but the
+// final weighted sum still visits queries in registration order, so the
+// result is bit-identical to re-pricing the whole workload from scratch
+// under the equivalent configuration. Safe for concurrent use.
+func (e *Engine) EvaluateCandidate(ix *catalog.Index) float64 {
+	affected := e.byTable[ix.Table]
+	total := 0.0
+	j := 0
+	// Counters accumulate locally and flush once per call: parallel rounds
+	// run many evaluations at once, and per-query atomic adds on shared
+	// cache lines would make even the skip path contended.
+	var evals, skips, plans int64
+	for qi, qs := range e.queries {
+		c := qs.best
+		if j < len(affected) && affected[j] == qi {
+			j++
+			c = qs.costWith(ix)
+			evals++
+			plans += int64(len(qs.plans))
+		} else {
+			skips++
+		}
+		total += qs.weight * c
+	}
+	e.candidateEvals.Add(1)
+	e.queryEvals.Add(evals)
+	e.querySkips.Add(skips)
+	e.planEvals.Add(plans)
+	return total
+}
+
+// Apply commits a pick: per affected query, each plan's leafBest entries on
+// the pick's table fold the pick in (the same min EvaluateCandidate
+// computed), the query's winning cost is refreshed, and the workload total
+// is re-summed. Unaffected queries are untouched. Not safe to run
+// concurrently with evaluations.
+func (e *Engine) Apply(pick *catalog.Index) {
+	e.applies.Add(1)
+	for _, qi := range e.byTable[pick.Table] {
+		qs := e.queries[qi]
+		rels := qs.relsOnTable[pick.Table]
+		for pi := range qs.plans {
+			ps := &qs.plans[pi]
+			for _, rel := range rels {
+				req := ps.cp.Leaves[rel]
+				if c, ok := qs.cache.IndexLeafCost(rel, req, pick); ok && c < ps.leafBest[rel] {
+					ps.leafBest[rel] = c
+				}
+			}
+		}
+		qs.best = qs.costWith(nil)
+	}
+	e.recomputeTotal()
+	e.chosen = append(e.chosen, pick)
+}
+
+// Stats snapshots the work counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		CandidateEvals: e.candidateEvals.Load(),
+		QueryEvals:     e.queryEvals.Load(),
+		QuerySkips:     e.querySkips.Load(),
+		PlanEvals:      e.planEvals.Load(),
+		Applies:        e.applies.Load(),
+	}
+}

@@ -408,6 +408,10 @@ type E4Result struct {
 	EstSpeedup float64
 	// Scale is the materialisation scale used for executions.
 	Scale float64
+	// DeltaEvals and SkippedEvals report the incremental cost engine's
+	// greedy-search work: per-query delta evaluations performed vs.
+	// evaluations the table→queries index skipped outright.
+	DeltaEvals, SkippedEvals int64
 }
 
 // RunE4 runs the §V-E index selection tool on the 10-query workload with
@@ -457,10 +461,12 @@ func RunE4(env *Env, execScale float64, budgetGB float64) (*E4Result, error) {
 	}
 
 	res := &E4Result{
-		BudgetBytes: ad.BudgetBytes,
-		UsedBytes:   sel.TotalBytes,
-		EstSpeedup:  sel.Speedup(),
-		Scale:       execScale,
+		BudgetBytes:  ad.BudgetBytes,
+		UsedBytes:    sel.TotalBytes,
+		EstSpeedup:   sel.Speedup(),
+		Scale:        execScale,
+		DeltaEvals:   sel.Engine.QueryEvals,
+		SkippedEvals: sel.Engine.QuerySkips,
 	}
 	for _, ix := range sel.Chosen {
 		res.Chosen = append(res.Chosen, ix.Key())
@@ -564,6 +570,8 @@ func (r *E4Result) String() string {
 	}
 	fmt.Fprintf(&b, "  average execution speedup: %.1f%%  (paper: 95%%)\n", 100*r.AvgSpeedup)
 	fmt.Fprintf(&b, "  cost-model estimated speedup: %.1f%%\n", 100*r.EstSpeedup)
+	fmt.Fprintf(&b, "  cost engine: %d query deltas computed, %d skipped by the table index\n",
+		r.DeltaEvals, r.SkippedEvals)
 	fmt.Fprintf(&b, "  suggested indexes:\n")
 	for _, c := range r.Chosen {
 		fmt.Fprintf(&b, "    %s\n", c)

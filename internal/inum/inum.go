@@ -224,6 +224,26 @@ func (c *Cache) SeqScanCost(rel int) float64 {
 	return cost
 }
 
+// BaseLeafCosts snapshots one cached plan's per-relation access costs under
+// the empty configuration: the (memoized) sequential-scan cost for
+// AccessAny leaves and +Inf for ordered/lookup leaves no index satisfies
+// yet. Incremental evaluators (internal/costmatrix) seed their per-plan
+// state from this snapshot and lower entries with IndexLeafCost as indexes
+// are chosen; because snapshot and refinement go through the same memoized
+// LeafCoster minimisation Cost itself uses, the resulting plan totals are
+// bit-identical to pricing the equivalent configuration from scratch.
+func (c *Cache) BaseLeafCosts(cp *CachedPlan) []float64 {
+	out := make([]float64, len(cp.Leaves))
+	for rel, req := range cp.Leaves {
+		cost, ok := optimizer.BaseLeafCost(c, rel, req)
+		if !ok {
+			cost = math.Inf(1)
+		}
+		out[rel] = cost
+	}
+	return out
+}
+
 // UniqueCombos returns the number of distinct order combinations among the
 // cached plans (the paper's "useful plans" count).
 func (c *Cache) UniqueCombos() int {

@@ -353,3 +353,39 @@ func TestCollectAccessCostsNaiveCallsPerIndex(t *testing.T) {
 		}
 	}
 }
+
+// TestBaseLeafCostsMatchEmptyConfig checks the incremental-engine snapshot
+// seam: per plan, BaseLeafCosts must report exactly what LeafAccessCost
+// yields under the empty configuration — the memoized sequential-scan cost
+// for AccessAny leaves, +Inf for leaves no index satisfies yet.
+func TestBaseLeafCostsMatchEmptyConfig(t *testing.T) {
+	s, a := setup(t, 4)
+	c, err := Build(a, whatif.NewSession(s.Catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &query.Config{}
+	sawInf := false
+	for _, cp := range c.Plans {
+		base := c.BaseLeafCosts(cp)
+		if len(base) != len(cp.Leaves) {
+			t.Fatalf("plan %s: %d base costs for %d leaves", cp.Sig, len(base), len(cp.Leaves))
+		}
+		for rel, req := range cp.Leaves {
+			want, ok := optimizer.LeafAccessCost(c, rel, req, empty)
+			if !ok {
+				if !math.IsInf(base[rel], 1) {
+					t.Errorf("plan %s rel %d: unsatisfiable leaf snapshotted as %v", cp.Sig, rel, base[rel])
+				}
+				sawInf = true
+				continue
+			}
+			if math.Float64bits(base[rel]) != math.Float64bits(want) {
+				t.Errorf("plan %s rel %d: snapshot %v != LeafAccessCost %v", cp.Sig, rel, base[rel], want)
+			}
+		}
+	}
+	if !sawInf {
+		t.Error("no ordered/lookup leaf exercised the +Inf snapshot path")
+	}
+}

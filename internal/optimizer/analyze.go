@@ -321,6 +321,21 @@ type LeafCoster interface {
 	SeqScanCost(rel int) float64
 }
 
+// BaseLeafCost evaluates a leaf requirement under the empty configuration:
+// the configuration-independent floor LeafAccessCost starts its
+// minimisation from. AccessAny leaves can always fall back to a sequential
+// scan; ordered and lookup leaves need an index, so their base is +Inf with
+// ok == false. Incremental evaluators (internal/costmatrix) seed their
+// per-relation state from this value and fold candidate indexes in through
+// IndexLeafCost one at a time, which keeps their arithmetic bit-identical
+// to LeafAccessCost's own loop.
+func BaseLeafCost(lc LeafCoster, rel int, req LeafReq) (float64, bool) {
+	if req.Mode == AccessAny {
+		return lc.SeqScanCost(rel), true
+	}
+	return math.Inf(1), false
+}
+
 // LeafAccessCost evaluates the access cost of one cached-plan leaf
 // requirement under an arbitrary index configuration, considering exactly
 // the access paths the optimizer itself would consider. It returns false
@@ -328,10 +343,7 @@ type LeafCoster interface {
 // for an ordered or lookup access). This is the single minimisation loop
 // both the live Analysis and the memoized cache evaluator go through.
 func LeafAccessCost(lc LeafCoster, rel int, req LeafReq, cfg *query.Config) (float64, bool) {
-	best := math.Inf(1)
-	if req.Mode == AccessAny {
-		best = lc.SeqScanCost(rel)
-	}
+	best, _ := BaseLeafCost(lc, rel, req)
 	if cfg != nil {
 		for _, ix := range cfg.Indexes {
 			if c, ok := lc.IndexLeafCost(rel, req, ix); ok && c < best {

@@ -27,7 +27,9 @@
 //
 //	adv := db.NewAdvisor(5 * pinum.GB)
 //	err = adv.AddQuery(q, 1)                  // query with frequency weight
-//	result, err := adv.Run()
+//	result, err := adv.Run()                  // incremental greedy search
+//	fmt.Println(result.Engine.QueryEvals,     // delta evaluations performed
+//		result.Engine.QuerySkips)             // pruned by the table index
 //
 // Whole workloads batch-build their caches across a worker pool:
 //
@@ -40,6 +42,7 @@ import (
 	"github.com/pinumdb/pinum/internal/advisor"
 	"github.com/pinumdb/pinum/internal/catalog"
 	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/costmatrix"
 	"github.com/pinumdb/pinum/internal/data"
 	"github.com/pinumdb/pinum/internal/executor"
 	"github.com/pinumdb/pinum/internal/inum"
@@ -70,6 +73,10 @@ type (
 	PlanCache = inum.Cache
 	// AdvisorResult reports an index-selection run.
 	AdvisorResult = advisor.Result
+	// EngineStats reports the work the advisor's incremental cost engine
+	// performed during the greedy search (AdvisorResult.Engine): delta
+	// evaluations computed vs. evaluations pruned by the table index.
+	EngineStats = costmatrix.Stats
 )
 
 // Database is the top-level handle: a catalog, statistics, and the
