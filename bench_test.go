@@ -269,6 +269,48 @@ func BenchmarkBatchCacheBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeExportAll measures one PINUM cache-construction
+// optimizer call (ExportAll under the all-orders configuration, nested
+// loops on — the heavier of core.Build's two calls) per query size, fast
+// planner vs the retained reference planner. Both produce bit-identical
+// results (see internal/optimizer's equivalence suite); only the work
+// differs: clause bitsets vs per-split rescans, a dense DP table vs a
+// map, interned plan keys vs strings, bucketed vs all-pairs subsumption,
+// and deferred vs eager path materialisation.
+func BenchmarkOptimizeExportAll(b *testing.B) {
+	e := env(b)
+	opt := optimizer.Options{EnableNestLoop: true, ExportAll: true}
+	seen := map[int]bool{}
+	for _, q := range e.Queries {
+		if seen[len(q.Rels)] {
+			continue // one representative per query size
+		}
+		seen[len(q.Rels)] = true
+		a := analysis(b, e, q)
+		cfg, err := inum.AllOrdersConfig(a, whatif.NewSession(e.Star.Catalog))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			call func(*optimizer.Analysis, *query.Config, optimizer.Options) (*optimizer.Result, error)
+		}{
+			{"fast", optimizer.Optimize},
+			{"reference", optimizer.OptimizeReference},
+		} {
+			mode := mode
+			b.Run(fmt.Sprintf("tables=%d/%s", len(q.Rels), mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := mode.call(a, cfg, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationNLJPruning compares the paper's default coarse
 // nested-loop pruning against the §V-D high-accuracy refinement ("a bigger
 // plan cache and slower cost lookup").

@@ -1,0 +1,163 @@
+// The -json mode: run the core performance suite through testing.Benchmark
+// and emit a machine-readable BENCH_<label>.json, so CI can archive one
+// artifact per run and the perf trajectory (ns/op, allocs/op) is tracked
+// across PRs instead of eyeballed from logs.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/experiments"
+	"github.com/pinumdb/pinum/internal/inum"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/whatif"
+)
+
+// benchRecord is one benchmark's measurement in the JSON artifact.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the BENCH_<label>.json document.
+type benchReport struct {
+	Label      string        `json:"label"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Timestamp  time.Time     `json:"timestamp"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// runJSONBench executes the perf suite and writes BENCH_<label>.json to the
+// working directory, returning the path written.
+func runJSONBench(label string, seed int64) (string, error) {
+	env, err := experiments.NewEnv(seed)
+	if err != nil {
+		return "", err
+	}
+	rep := &benchReport{
+		Label:     label,
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC(),
+	}
+
+	var failed []string
+	measure := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		// b.Fatal inside the closure aborts the run but testing.Benchmark
+		// still returns a zero result; record the failure instead of
+		// archiving a 0 ns/op data point with a green exit status.
+		if r.N == 0 {
+			failed = append(failed, name)
+			return
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benchRecord{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "  %-55s %12.0f ns/op %8d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+
+	// One representative query per join size: the ExportAll call under the
+	// all-orders configuration (the heavier of core.Build's two calls),
+	// fast planner vs the retained reference planner — the PR 3 headline.
+	seen := map[int]bool{}
+	for _, q := range env.Queries {
+		if seen[len(q.Rels)] {
+			continue
+		}
+		seen[len(q.Rels)] = true
+		a, err := optimizer.NewAnalysis(q, env.Star.Stats, optimizer.DefaultCostParams())
+		if err != nil {
+			return "", err
+		}
+		cfg, err := inum.AllOrdersConfig(a, whatif.NewSession(env.Star.Catalog))
+		if err != nil {
+			return "", err
+		}
+		opt := optimizer.Options{EnableNestLoop: true, ExportAll: true}
+		for _, mode := range []struct {
+			name string
+			call func(*optimizer.Analysis, *query.Config, optimizer.Options) (*optimizer.Result, error)
+		}{
+			{"fast", optimizer.Optimize},
+			{"reference", optimizer.OptimizeReference},
+		} {
+			call := mode.call
+			measure(fmt.Sprintf("OptimizeExportAll/tables=%d/%s", len(q.Rels), mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := call(a, cfg, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+
+		// Whole-cache construction for the same query (two fast calls).
+		measure(fmt.Sprintf("CacheBuild/tables=%d/PINUM", len(q.Rels)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(a, whatif.NewSession(env.Star.Catalog)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// The whole-workload batch build, serial and with all cores.
+	analyses := make([]*optimizer.Analysis, len(env.Queries))
+	for i, q := range env.Queries {
+		a, err := optimizer.NewAnalysis(q, env.Star.Stats, optimizer.DefaultCostParams())
+		if err != nil {
+			return "", err
+		}
+		analyses[i] = a
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		workers := workers
+		measure(fmt.Sprintf("BatchCacheBuild/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildAll(analyses, env.Star.Catalog, workers, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	if len(failed) > 0 {
+		return "", fmt.Errorf("benchmarks failed: %v", failed)
+	}
+
+	path := fmt.Sprintf("BENCH_%s.json", label)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -4,6 +4,7 @@
 //	pinum-bench            # run everything
 //	pinum-bench -e e3      # run one experiment (e1..e5)
 //	pinum-bench -quick     # reduced trial counts for a fast pass
+//	pinum-bench -json PR3  # run the perf suite, write BENCH_PR3.json
 package main
 
 import (
@@ -21,7 +22,17 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	scale := flag.Float64("exec-scale", 0.0005, "materialisation scale for the execution experiment (1.0 = the paper's 10 GB)")
 	workers := flag.Int("workers", 0, "worker pool size for the advisor's cache construction and greedy search in e4 (0 = all CPUs, 1 = serial; results are identical either way). e3 always times builds serially, in isolation, to stay faithful to the paper's methodology")
+	jsonLabel := flag.String("json", "", "run the machine-readable perf suite instead of the experiments and write BENCH_<label>.json (per-benchmark ns/op, allocs/op)")
 	flag.Parse()
+
+	if *jsonLabel != "" {
+		path, err := runJSONBench(*jsonLabel, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+		return
+	}
 
 	env, err := experiments.NewEnv(*seed)
 	if err != nil {

@@ -61,6 +61,7 @@ func build(a *optimizer.Analysis, ws *whatif.Session, precise bool) (*inum.Cache
 			return nil, err
 		}
 		c.Stats.OptimizerCalls++
+		c.Stats.Planner.Add(res.Stats)
 		for _, p := range res.Exported {
 			c.AddPath(p)
 		}

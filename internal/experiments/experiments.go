@@ -253,6 +253,15 @@ type E3Row struct {
 	PinumCacheTime  time.Duration
 	PinumCacheCalls int
 
+	// Planner-work counters aggregated across each build's optimizer
+	// calls: how many candidate paths the pruning screens discarded and
+	// how many join-clause set computations the DP split enumeration
+	// performed. These make the fast planner's work reduction (clause
+	// bitsets consulted once per split, packed-key dedup, bucketed
+	// subsumption) observable alongside the wall-clock columns.
+	InumPlanner  optimizer.PlannerStats
+	PinumPlanner optimizer.PlannerStats
+
 	InumAccessTime  time.Duration
 	InumAccessCalls int
 	PinumAccessTime time.Duration
@@ -327,10 +336,12 @@ func RunE3(env *Env, queries []*query.Query) (*E3Result, error) {
 		// old per-query build-then-drop loop did.
 		row.PinumCacheTime = pins[qi].Stats.Duration
 		row.PinumCacheCalls = pins[qi].Stats.OptimizerCalls
+		row.PinumPlanner = pins[qi].Stats.Planner
 		pins[qi] = nil
 
 		row.InumCacheTime = ins[qi].Stats.Duration
 		row.InumCacheCalls = ins[qi].Stats.OptimizerCalls
+		row.InumPlanner = ins[qi].Stats.Planner
 		ins[qi] = nil
 
 		// Candidate indexes for the access-cost lookup comparison.
@@ -373,6 +384,9 @@ func (r *E3Result) String() string {
 			row.InumAccessTime.Round(time.Microsecond), row.InumAccessCalls,
 			row.PinumAccessTime.Round(time.Microsecond),
 			row.AccessSpeedup())
+		fmt.Fprintf(&b, "         planner work: INUM %d considered / %d pruned / %d clause lookups, PINUM %d / %d / %d\n",
+			row.InumPlanner.PathsConsidered, row.InumPlanner.PathsPruned, row.InumPlanner.ClauseLookups,
+			row.PinumPlanner.PathsConsidered, row.PinumPlanner.PathsPruned, row.PinumPlanner.ClauseLookups)
 		if row.AccessErrors > 0 {
 			fmt.Fprintf(&b, "  %-5s  WARNING: %d optimizer failures during access-cost collection; timings above are from incomplete tables\n",
 				row.Query, row.AccessErrors)

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"github.com/pinumdb/pinum/internal/optimizer"
 )
 
 func env(t testing.TB) *Env {
@@ -75,6 +77,20 @@ func TestE3ShapeMatchesPaper(t *testing.T) {
 		}
 		if row.Tables > 3 && row.CacheSpeedup() >= 10 {
 			bigQueryBigWin = true
+		}
+		// The planner-work counters must be populated for both flavours:
+		// every build considers and prunes paths, and multi-table queries
+		// perform clause-set lookups during split enumeration.
+		for _, pl := range []struct {
+			name  string
+			stats optimizer.PlannerStats
+		}{{"INUM", row.InumPlanner}, {"PINUM", row.PinumPlanner}} {
+			if pl.stats.PathsConsidered == 0 || pl.stats.PathsPruned == 0 {
+				t.Errorf("%s: %s planner stats empty: %+v", row.Query, pl.name, pl.stats)
+			}
+			if row.Tables > 1 && pl.stats.ClauseLookups == 0 {
+				t.Errorf("%s: %s recorded no clause lookups on a %d-table join", row.Query, pl.name, row.Tables)
+			}
 		}
 	}
 	if fasterCache < len(r.Rows)-2 {

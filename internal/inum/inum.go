@@ -68,6 +68,11 @@ type BuildStats struct {
 	PlansCached int
 	// Duration is the wall-clock construction time.
 	Duration time.Duration
+	// Planner aggregates the per-call planner work counters across every
+	// optimizer invocation of the build, making the fast path's work
+	// reduction (paths pruned, clause-set lookups) observable per query,
+	// not just timed.
+	Planner optimizer.PlannerStats
 }
 
 // Cache is an INUM plan cache for one query. Cost is safe for concurrent
@@ -371,6 +376,7 @@ func Build(a *optimizer.Analysis, ws *whatif.Session) (*Cache, error) {
 				return nil, err
 			}
 			c.Stats.OptimizerCalls++
+			c.Stats.Planner.Add(res.Stats)
 			c.AddPath(res.Best)
 		}
 	}

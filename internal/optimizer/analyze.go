@@ -45,7 +45,37 @@ type Analysis struct {
 	JoinSel []float64
 
 	rowsCache map[RelSet]float64
+
+	// Interesting-order interning, built once per analysis: the fast
+	// planner packs leaf requirements and pathkeys into fixed-size
+	// comparable keys using these small integer ids (see fastplan.go).
+	// ordIDs maps each relation's interesting-order columns to 1-based
+	// ids (≤63, so mode+id pack into one byte); ordBase offsets them into
+	// a dense global id space shared by all relations; ordTotal is the
+	// highest global id. fastPlan reports whether the query fits the
+	// packing invariants — Optimize falls back to the reference planner
+	// when it does not.
+	ordIDs   []map[string]uint8
+	ordBase  []uint16
+	ordTotal int
+	fastPlan bool
 }
+
+// orderGID returns the dense global id (≥1) of an interned interesting-
+// order column. Every column a planner-generated leaf requirement or
+// output order can name is an interesting order of its relation (join,
+// group-by and order-by columns all are, by construction), so the lookup
+// never misses on planner inputs.
+func (a *Analysis) orderGID(c query.ColRef) uint16 {
+	return a.ordBase[c.Rel] + uint16(a.ordIDs[c.Rel][c.Column])
+}
+
+// FastPlannable reports whether Optimize will use the fast planner for
+// this analysis. It is false only for queries outside the packed-key
+// capacity invariants (over 16 relations, over 63 interesting orders on
+// one relation, or over 8 grouping/ordering columns), where Optimize falls
+// back to the reference planner.
+func (a *Analysis) FastPlannable() bool { return a.fastPlan }
 
 // NewAnalysis derives the planning state for q. The statistics store may be
 // nil, in which case column metadata defaults drive selectivity.
@@ -92,6 +122,30 @@ func NewAnalysis(q *query.Query, st *stats.Store, params CostParams) (*Analysis,
 	for _, j := range q.Joins {
 		a.JoinSel = append(a.JoinSel, a.joinSelectivity(j))
 	}
+
+	// Intern the interesting orders for the fast planner's packed keys.
+	a.ordIDs = make([]map[string]uint8, len(a.Rels))
+	a.ordBase = make([]uint16, len(a.Rels))
+	fast := len(a.Rels) <= 16 && len(q.GroupBy) <= 8 && len(q.OrderBy) <= 8
+	total := 0
+	for i := range a.Rels {
+		cols := a.Rels[i].Interesting
+		if len(cols) > 63 {
+			fast = false
+		}
+		m := make(map[string]uint8, len(cols))
+		for k, col := range cols {
+			if k >= 63 {
+				break // beyond packing capacity; fast is already false
+			}
+			m[col] = uint8(k + 1)
+		}
+		a.ordIDs[i] = m
+		a.ordBase[i] = uint16(total)
+		total += len(m)
+	}
+	a.ordTotal = total
+	a.fastPlan = fast
 	return a, nil
 }
 

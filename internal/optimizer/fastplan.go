@@ -1,0 +1,657 @@
+// Fast planner internals: the per-call plan context, the dense DP table,
+// packed comparable plan keys, and bucketed subsumption pruning.
+//
+// The fast path exists because PINUM's whole promise is "two optimizer
+// calls per query": after the batch builders (PR 1) and the incremental
+// greedy pricer (PR 2), the cost of one Optimize call is the cost of cache
+// construction. Profiles showed that call dominated by avoidable work —
+// per-split clause rescans, per-probe configuration filtering, per-path
+// string keys, and an all-pairs subsumption pass — all of which this file
+// replaces with precomputation and integer identities. Results are
+// bit-identical to OptimizeReference: the equivalence suite
+// (equivalence_test.go) pins that for every Options combination.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/query"
+)
+
+// planKey is the packed (leaf combo, output order) identity of a path — the
+// fast equivalent of the reference path's string pathKey. Leaf requirements
+// pack one byte per relation (access mode in the top two bits, the interned
+// interesting-order column id in the low six), stored as two uint64 words so
+// a join's combo is the OR of its children's. Nested-loop probe counts pack
+// as interned 32-bit coefficient ids, two lanes per word; the output order
+// packs the interned global column ids, 16 bits each. NewAnalysis guarantees
+// the capacity invariants (≤16 relations, ≤63 interesting orders per
+// relation, orders ≤8 columns) before enabling the fast path.
+type planKey struct {
+	leaves [2]uint64
+	coefs  [8]uint64
+	order  [2]uint64
+}
+
+// leafByte writes the packed requirement byte for rel into k.
+func (k *planKey) setLeafByte(rel int, b uint8) {
+	k.leaves[rel>>3] |= uint64(b) << uint((rel&7)*8)
+}
+
+// setCoefLane writes the interned coefficient id for rel into k.
+func (k *planKey) setCoefLane(rel int, id uint32) {
+	k.coefs[rel>>1] |= uint64(id) << uint((rel&1)*32)
+}
+
+// clauseInfo is one join clause prepared for O(1) split tests: the two
+// relation bits plus both pre-oriented clauseRefs (including the prebuilt
+// single-column sort-key slices merge joins enforce with, and their packed
+// order forms).
+type clauseInfo struct {
+	pair     RelSet // leftBit | rightBit
+	leftBit  RelSet
+	fwd, rev clauseRef
+}
+
+// lookupMemo caches the best nested-loop probe index for one (relation,
+// column) pair, keyed by the column's global interned id.
+type lookupMemo struct {
+	done bool
+	ix   *catalog.Index
+	cost float64
+	rows float64
+	id   uint8 // the column's per-relation interned id
+}
+
+// planCtx is the per-Optimize fast-path state: everything that can be
+// computed once per call instead of once per probe.
+type planCtx struct {
+	a *Analysis
+	// perRel holds the configuration's indexes per relation, filtered
+	// once (configIndexes re-filtered the whole configuration per probe
+	// on the reference path).
+	perRel [][]*catalog.Index
+	// clauses holds the prepared join clauses; crossClauses scans it once
+	// per split, filling both orientation buffers in one pass.
+	clauses        []clauseInfo
+	bufFwd, bufRev []clauseRef
+
+	// coefs interns nested-loop probe counts for planKey (PreciseNLJ);
+	// coefVals is the reverse table (id-1 → value) the subsumption test
+	// reads probe counts back through.
+	coefs    map[float64]uint32
+	coefVals []float64
+
+	// Output-order registry: packed form, original slice, and the
+	// pairwise prefix-satisfaction matrix finishRelFast buckets with.
+	orderPacks [][2]uint64
+	orderRefs  [][]query.ColRef
+	sat        [][]bool
+
+	// lookups memoizes lookupBest per global column id.
+	lookups []lookupMemo
+
+	// useful memoizes usefulOrder verdicts per global column id for the
+	// join relation currently under construction (usefulSet).
+	usefulSet RelSet
+	useful    []int8 // 0 unknown, 1 useful, 2 not useful
+}
+
+func newPlanCtx(a *Analysis, cfg *query.Config) *planCtx {
+	n := len(a.Rels)
+	ctx := &planCtx{a: a}
+	ctx.perRel = make([][]*catalog.Index, n)
+	if cfg != nil {
+		for i := range a.Rels {
+			t := a.Rels[i].Table.Name
+			var out []*catalog.Index
+			for _, ix := range cfg.Indexes {
+				if ix.Table == t {
+					out = append(out, ix)
+				}
+			}
+			ctx.perRel[i] = out
+		}
+	}
+	ctx.clauses = make([]clauseInfo, len(a.Q.Joins))
+	for i, j := range a.Q.Joins {
+		lk := []query.ColRef{j.Left}
+		rk := []query.ColRef{j.Right}
+		lp, rp := ctx.packOrder(lk), ctx.packOrder(rk)
+		ctx.clauses[i] = clauseInfo{
+			pair:    Single(j.Left.Rel) | Single(j.Right.Rel),
+			leftBit: Single(j.Left.Rel),
+			fwd: clauseRef{idx: i, outer: j.Left, inner: j.Right,
+				outerKey: lk, innerKey: rk, outerPack: lp, innerPack: rp},
+			rev: clauseRef{idx: i, outer: j.Right, inner: j.Left,
+				outerKey: rk, innerKey: lk, outerPack: rp, innerPack: lp},
+		}
+	}
+	ctx.lookups = make([]lookupMemo, a.ordTotal+1)
+	ctx.useful = make([]int8, a.ordTotal+1)
+	return ctx
+}
+
+// crossClauses enumerates the join clauses crossing the disjoint sets
+// (s1, s2), returning both orientations in one pass over the prebuilt
+// clause table. The buffers are reused across splits: callers consume them
+// before the next call. A clause crosses iff it has one endpoint in each
+// set, which is two bitset tests per clause.
+func (ctx *planCtx) crossClauses(s1, s2 RelSet) (fwd, rev []clauseRef) {
+	fwd, rev = ctx.bufFwd[:0], ctx.bufRev[:0]
+	for i := range ctx.clauses {
+		ci := &ctx.clauses[i]
+		if ci.pair&s1 == 0 || ci.pair&s2 == 0 {
+			continue
+		}
+		if ci.leftBit&s1 != 0 {
+			fwd = append(fwd, ci.fwd)
+			rev = append(rev, ci.rev)
+		} else {
+			fwd = append(fwd, ci.rev)
+			rev = append(rev, ci.fwd)
+		}
+	}
+	ctx.bufFwd, ctx.bufRev = fwd, rev
+	return fwd, rev
+}
+
+// lookup memoizes the reference planner's per-candidate scan for the
+// cheapest probing index: the answer depends only on (relation, column).
+// The minimisation replicates the reference loop exactly (first strictly
+// cheaper index wins), so the chosen index and cost are bit-identical.
+func (ctx *planCtx) lookup(a *Analysis, rel int, col string) *lookupMemo {
+	g := a.orderGID(query.ColRef{Rel: rel, Column: col})
+	m := &ctx.lookups[g]
+	if !m.done {
+		m.done = true
+		m.id = a.ordIDs[rel][col]
+		best := math.Inf(1)
+		var via *catalog.Index
+		for _, ix := range ctx.perRel[rel] {
+			if !ix.Covers(col) {
+				continue
+			}
+			if lc := a.LookupCost(rel, ix, col); lc < best {
+				best = lc
+				via = ix
+			}
+		}
+		if via != nil {
+			m.ix = via
+			m.cost = best
+			m.rows = a.LookupRows(rel, col)
+		}
+	}
+	return m
+}
+
+// coefID interns a nested-loop probe coefficient (1-based, so a zero lane
+// in planKey.coefs means "no coefficient recorded", mirroring how the
+// string key only appends the coefficient for precise lookup leaves).
+func (ctx *planCtx) coefID(coef float64) uint32 {
+	if ctx.coefs == nil {
+		ctx.coefs = make(map[float64]uint32)
+	}
+	if id, ok := ctx.coefs[coef]; ok {
+		return id
+	}
+	id := uint32(len(ctx.coefs) + 1)
+	ctx.coefs[coef] = id
+	ctx.coefVals = append(ctx.coefVals, coef)
+	return id
+}
+
+// coefLane reads the interned coefficient id for rel out of k.
+func (k *planKey) coefLane(rel int) uint32 {
+	return uint32(k.coefs[rel>>1] >> uint((rel&1)*32))
+}
+
+// packOrder packs an output order as its interned global column ids, 16
+// bits per column. Ids are 1-based, so the packing is prefix-unambiguous
+// and the low 16 bits are always the leading column's id.
+func (ctx *planCtx) packOrder(order []query.ColRef) [2]uint64 {
+	var o [2]uint64
+	for i, cr := range order {
+		o[i>>2] |= uint64(ctx.a.orderGID(cr)) << uint((i&3)*16)
+	}
+	return o
+}
+
+// orderIDPacked registers an output order (given in both packed and slice
+// form) in the context registry and returns its dense id, extending the
+// pairwise satisfaction matrix for new entries. The packed form is
+// injective (ids are per-(rel, column) unique), so equal packs mean equal
+// orders and no column is ever re-interned here.
+func (ctx *planCtx) orderIDPacked(packed [2]uint64, order []query.ColRef) int32 {
+	for i := range ctx.orderPacks {
+		if ctx.orderPacks[i] == packed {
+			return int32(i)
+		}
+	}
+	n := len(ctx.orderPacks)
+	for i := 0; i < n; i++ {
+		ctx.sat[i] = append(ctx.sat[i], OrderSatisfies(ctx.orderRefs[i], order))
+	}
+	row := make([]bool, n+1)
+	for j := 0; j < n; j++ {
+		row[j] = OrderSatisfies(order, ctx.orderRefs[j])
+	}
+	row[n] = true // every order satisfies itself
+	ctx.orderPacks = append(ctx.orderPacks, packed)
+	ctx.orderRefs = append(ctx.orderRefs, order)
+	ctx.sat = append(ctx.sat, row)
+	return int32(n)
+}
+
+// usefulMemo answers "can an order led by this column still matter above
+// this relation set?" through the per-call verdict cache, computing via
+// usefulLead on a miss. The cache is keyed by the column's global interned
+// id and resets when the join relation under construction changes (the DP
+// completes one relation at a time). Both usefulOrder's fast branch and
+// usefulOrderFast share this memo, so the invalidation protocol lives in
+// exactly one place.
+func (p *planner) usefulMemo(set RelSet, lead query.ColRef, g uint16) bool {
+	ctx := p.ctx
+	if ctx.usefulSet != set {
+		ctx.usefulSet = set
+		for i := range ctx.useful {
+			ctx.useful[i] = 0
+		}
+	}
+	switch ctx.useful[g] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	if p.usefulLead(set, lead) {
+		ctx.useful[g] = 1
+		return true
+	}
+	ctx.useful[g] = 2
+	return false
+}
+
+// usefulOrderFast is usefulOrder with the verdict memoized per (join
+// relation, leading column id); the id comes straight from the packed
+// order, so the memo costs two array reads per probe. It returns the
+// (possibly trimmed) order in both forms.
+func (p *planner) usefulOrderFast(set RelSet, order []query.ColRef, pack [2]uint64) ([]query.ColRef, [2]uint64) {
+	if len(order) == 0 {
+		return nil, [2]uint64{}
+	}
+	// The low 16 bits of the pack are the leading column's global id.
+	if p.usefulMemo(set, order[0], uint16(pack[0])) {
+		return order, pack
+	}
+	return nil, [2]uint64{}
+}
+
+// packLeaf folds one relation's leaf requirement into the key, interning
+// the column through the analysis maps. Join candidates avoid this path
+// entirely (their children's packed leaves OR together); it runs only for
+// base-relation scans and the grouping planner's complete plans.
+func (p *planner) packLeaf(k *planKey, rel int, req LeafReq) {
+	if req.Mode == AccessAny {
+		return
+	}
+	id := p.a.ordIDs[rel][req.Col]
+	if p.opt.PaperPrune {
+		// The string key's 'c' mode collapse: the byte is the bare column id.
+		k.setLeafByte(rel, id)
+	} else {
+		k.setLeafByte(rel, uint8(req.Mode)<<6|id)
+	}
+	if req.Mode == AccessLookup && p.opt.PreciseNLJ {
+		k.setCoefLane(rel, p.ctx.coefID(req.Coef))
+	}
+}
+
+// pathKeyOf packs the key of an already-materialised path (base-relation
+// scans and the grouping planner's complete plans).
+func (p *planner) pathKeyOf(np *Path) planKey {
+	var k planKey
+	for v := uint64(np.Rels); v != 0; {
+		rel := bits.TrailingZeros64(v)
+		v &^= 1 << uint(rel)
+		p.packLeaf(&k, rel, np.Leaves[rel])
+	}
+	k.order = p.ctx.packOrder(np.Order)
+	return k
+}
+
+// keyOf returns the packed key of a path retained by a finished join
+// relation (fast ExportAll mode only; finishRelFast assigns pkRef when it
+// moves a kept path's key into the arena).
+func (p *planner) keyOf(pt *Path) *planKey {
+	return &p.keyArena[pt.pkRef-1]
+}
+
+// candKeyOf packs the key of a join candidate without materialising it: the
+// children's packed leaf combos OR together (their relation sets are
+// disjoint), the nested-loop probe adds its own byte, and the output order
+// pack and the children's arena keys were threaded through joinPaths.
+func (p *planner) candKeyOf(c *joinCand) planKey {
+	var k planKey
+	k.leaves = c.outerKey.leaves
+	if c.innerKey != nil {
+		k.leaves[0] |= c.innerKey.leaves[0]
+		k.leaves[1] |= c.innerKey.leaves[1]
+	}
+	if p.opt.PreciseNLJ {
+		k.coefs = c.outerKey.coefs
+		if c.innerKey != nil {
+			for w := range k.coefs {
+				k.coefs[w] |= c.innerKey.coefs[w]
+			}
+		}
+	}
+	if c.op == OpNestLoop {
+		b := uint8(AccessLookup)<<6 | c.nljColID
+		if p.opt.PaperPrune {
+			b = c.nljColID
+		}
+		k.setLeafByte(c.nljRel, b)
+		if p.opt.PreciseNLJ {
+			k.setCoefLane(c.nljRel, p.ctx.coefID(c.nljCoef))
+		}
+	}
+	k.order = c.orderPack
+	return k
+}
+
+// insertKeyedPath dedups a materialised path by packed key (the fast
+// equivalent of the reference byKey insertion). Keys live in the planner's
+// keyed store until finishRelFast moves the kept ones into the arena.
+func (p *planner) insertKeyedPath(key planKey, np *Path) {
+	if i, ok := p.fastKey[key]; ok {
+		old := p.keyed[i]
+		if p.opt.PaperPrune {
+			if old.Cost <= np.Cost {
+				p.res.Stats.PathsPruned++
+				return
+			}
+		} else if old.Internal <= np.Internal {
+			p.res.Stats.PathsPruned++
+			return
+		}
+		p.keyed[i] = np
+		p.res.Stats.PathsPruned++ // the displaced incumbent
+		return
+	}
+	p.fastKey[key] = int32(len(p.keyed))
+	p.keyed = append(p.keyed, np)
+	p.keys = append(p.keys, key)
+}
+
+// addJoinFast screens a join candidate before any allocation: in ExportAll
+// mode against the packed-key slot, in normal mode against the retained
+// frontier. Only survivors are materialised.
+func (p *planner) addJoinFast(jr *joinRel, c *joinCand) {
+	p.res.Stats.PathsConsidered++
+	if p.opt.ExportAll {
+		key := p.candKeyOf(c)
+		if i, ok := p.fastKey[key]; ok {
+			old := p.keyed[i]
+			if p.opt.PaperPrune {
+				if old.Cost <= c.cost {
+					p.res.Stats.PathsPruned++
+					return
+				}
+			} else if old.Internal <= c.internal {
+				p.res.Stats.PathsPruned++
+				return
+			}
+			np := c.materialize(p, jr.set)
+			p.keyed[i] = np
+			p.res.Stats.PathsPruned++ // the displaced incumbent
+			return
+		}
+		np := c.materialize(p, jr.set)
+		p.fastKey[key] = int32(len(p.keyed))
+		p.keyed = append(p.keyed, np)
+		p.keys = append(p.keys, key)
+		return
+	}
+	const fuzz = 1e-9
+	for _, old := range jr.paths {
+		if OrderSatisfies(old.Order, c.order) && old.Cost <= c.cost*(1+fuzz) {
+			p.res.Stats.PathsPruned++
+			return
+		}
+	}
+	np := c.materialize(p, jr.set)
+	keep := jr.paths[:0]
+	for _, old := range jr.paths {
+		if OrderSatisfies(np.Order, old.Order) && np.Cost <= old.Cost*(1+fuzz) {
+			p.res.Stats.PathsPruned++
+			continue
+		}
+		keep = append(keep, old)
+	}
+	jr.paths = append(keep, np)
+}
+
+// planFast is the dense-table DP loop: join relations indexed by relation
+// mask, clause sets computed once per split from the prebuilt bitsets, and
+// splits with an unplanned half skipped before any clause logic runs.
+func (p *planner) planFast() (*joinRel, error) {
+	n := len(p.a.Rels)
+	rels := make([]*joinRel, 1<<uint(n))
+	planned := 0
+	for i := 0; i < n; i++ {
+		jr := p.scanPaths(i)
+		p.finishRel(jr)
+		if len(jr.paths) == 0 {
+			return nil, fmt.Errorf("optimizer: no access path for relation %d", i)
+		}
+		rels[jr.set] = jr
+		planned++
+	}
+	if n == 1 {
+		p.res.Stats.JoinRels = 1
+		return rels[Single(0)], nil
+	}
+
+	full := RelSet(1<<uint(n)) - 1
+	for mask := RelSet(3); mask <= full; mask++ {
+		low := mask & -mask
+		if mask == low {
+			continue // single relation, already planned
+		}
+		var jr *joinRel
+		// Enumerate proper submasks containing the lowest bit, so each
+		// unordered split is visited once.
+		for s1 := (mask - 1) & mask; s1 > 0; s1 = (s1 - 1) & mask {
+			if s1&low == 0 {
+				continue
+			}
+			s2 := mask ^ s1
+			left, right := rels[s1], rels[s2]
+			if left == nil || right == nil {
+				continue
+			}
+			fwd, rev := p.ctx.crossClauses(s1, s2)
+			p.res.Stats.ClauseLookups++
+			if len(fwd) == 0 {
+				continue
+			}
+			if jr == nil {
+				jr = &joinRel{set: mask, rows: p.a.JoinRows(mask)}
+			}
+			p.joinPaths(jr, left, right, fwd)
+			p.joinPaths(jr, right, left, rev)
+		}
+		if jr != nil {
+			p.finishRel(jr)
+			rels[mask] = jr
+			planned++
+		}
+	}
+	p.res.Stats.JoinRels = planned
+	top := rels[full]
+	if top == nil || len(top.paths) == 0 {
+		return nil, fmt.Errorf("optimizer: join graph of query %s is disconnected", p.a.Q.Name)
+	}
+	return top, nil
+}
+
+// finishRelFast is the bucketed subsumption prune: paths group by exact
+// output order, so each dominator scan only touches paths whose order can
+// possibly satisfy the candidate's, instead of the reference all-pairs
+// scan. The metric/index/bucket buffers are reused across join relations.
+// The kept set is provably identical to the reference pass: domination is
+// checked against the same "metric ≤ candidate's" population, only
+// partitioned by order.
+func (p *planner) finishRelFast(jr *joinRel) {
+	paths, keys := p.keyed, p.keys
+	n := len(paths)
+	if n == 0 {
+		jr.paths = nil
+		return
+	}
+	ctx := p.ctx
+	paper := p.opt.PaperPrune
+
+	metric := p.metricBuf[:0]
+	idx := p.idxBuf[:0]
+	ords := p.ordBuf[:0]
+	for i, pt := range paths {
+		m := pt.Internal
+		if paper {
+			m = pt.Cost
+		}
+		metric = append(metric, m)
+		idx = append(idx, int32(i))
+		ords = append(ords, ctx.orderIDPacked(keys[i].order, pt.Order))
+	}
+	p.metricBuf, p.idxBuf, p.ordBuf = metric, idx, ords
+
+	sort.SliceStable(idx, func(x, y int) bool { return metric[idx[x]] < metric[idx[y]] })
+
+	// Bucket by exact output order in ascending-metric order, so bucket
+	// scans can stop at the first larger metric, exactly like the
+	// reference scan over its fully sorted slice.
+	nb := len(ctx.orderPacks)
+	for len(p.buckets) < nb {
+		p.buckets = append(p.buckets, nil)
+	}
+	buckets := p.buckets[:nb]
+	for b := range buckets {
+		buckets[b] = buckets[b][:0]
+	}
+	for _, j := range idx {
+		buckets[ords[j]] = append(buckets[ords[j]], j)
+	}
+
+	kept := make([]*Path, 0, n)
+	for _, i := range idx {
+		m := metric[i]
+		dominated := false
+		for b := 0; b < nb && !dominated; b++ {
+			if !ctx.sat[b][ords[i]] {
+				continue
+			}
+			for _, j := range buckets[b] {
+				if metric[j] > m {
+					break
+				}
+				if j == i {
+					continue
+				}
+				if p.subsumesPacked(&keys[j], &keys[i]) {
+					dominated = true
+					break
+				}
+			}
+		}
+		if dominated {
+			p.res.Stats.PathsPruned++
+			continue
+		}
+		// Survivors park their key in the per-call arena; the joins built
+		// on top of this relation read it back through pkRef. Pruned
+		// paths' keys die with the scratch buffer.
+		paths[i].pkRef = int32(len(p.keyArena) + 1)
+		p.keyArena = append(p.keyArena, keys[i])
+		kept = append(kept, paths[i])
+	}
+	jr.paths = kept
+
+	p.keyed = paths[:0]
+	p.keys = keys[:0]
+	clear(p.fastKey)
+}
+
+const (
+	swarLo7 = 0x7f7f7f7f7f7f7f7f
+	swarHi  = 0x8080808080808080
+)
+
+// byteSpread returns a mask with 0xff in every byte of v that is non-zero.
+func byteSpread(v uint64) uint64 {
+	x := ((v & swarLo7) + swarLo7) | v
+	return (x & swarHi) >> 7 * 0xff
+}
+
+// lookupBits marks bit 7 of every byte of v whose access-mode bits encode
+// AccessLookup (binary 10: bit 7 set, bit 6 clear).
+func lookupBits(v uint64) uint64 {
+	return v & swarHi &^ ((v << 1) & swarHi)
+}
+
+// subsumesPacked is comboSubsumes/comboSubsumesByColumn over packed leaf
+// words. Any dominator's requirement bytes are a subset of the candidate's
+// (Φ slots are zero, equal slots share bits), so a two-word bitwise subset
+// test rejects most pairs before the byte-level pass. A differing
+// requirement byte is then acceptable only when the would-be dominator's
+// slot is Φ (zero) and — outside the PaperPrune column collapse — the
+// dominated slot is not a lookup (a lookup is only ever subsumed by an
+// identical lookup). Under PreciseNLJ the numeric probe counts of lookup
+// slots are compared through the interned coefficient lanes.
+func (p *planner) subsumesPacked(ka, kb *planKey) bool {
+	if ka.leaves[0]&^kb.leaves[0] != 0 || ka.leaves[1]&^kb.leaves[1] != 0 {
+		return false
+	}
+	if p.opt.PaperPrune {
+		for w := 0; w < 2; w++ {
+			d := ka.leaves[w] ^ kb.leaves[w]
+			if d != 0 && ka.leaves[w]&byteSpread(d) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for w := 0; w < 2; w++ {
+		d := ka.leaves[w] ^ kb.leaves[w]
+		if d == 0 {
+			continue
+		}
+		m := byteSpread(d)
+		if ka.leaves[w]&m != 0 {
+			return false
+		}
+		if lookupBits(kb.leaves[w])&m != 0 {
+			return false
+		}
+	}
+	if p.opt.PreciseNLJ {
+		vals := p.ctx.coefVals
+		for w := 0; w < 2; w++ {
+			for lm := lookupBits(kb.leaves[w]); lm != 0; lm &= lm - 1 {
+				rel := w*8 + bits.TrailingZeros64(lm)>>3
+				// Matching lookup slots have lanes on both sides (every
+				// precise lookup leaf records one).
+				if vals[ka.coefLane(rel)-1] > vals[kb.coefLane(rel)-1] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -12,11 +12,20 @@
 //   - Options.ExportAll switches the join planner's pruning to the
 //     subsumption rule of §V-D and exports one optimal plan per useful
 //     interesting order combination from a single call.
+//
+// Two planner implementations share all cost arithmetic. Optimize runs the
+// fast path (fastplan.go): clause bitsets consulted once per split, a dense
+// mask-indexed DP table, interned fixed-size plan keys, bucketed subsumption
+// pruning, and Path materialisation deferred until a candidate survives the
+// cheap screens. OptimizeReference retains the original loop — map-keyed DP
+// table, per-direction clause rescans, string plan keys, all-pairs pruning —
+// as the equivalence oracle: both produce bit-identical results.
 package optimizer
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strconv"
 
@@ -62,11 +71,31 @@ type IndexAccess struct {
 }
 
 // PlannerStats counts planner work, used by the experiments to show where
-// INUM's repeated calls spend their time.
+// INUM's repeated calls spend their time and how much of it the fast path
+// eliminates.
 type PlannerStats struct {
 	PathsConsidered int
 	PathsRetained   int
-	JoinRels        int
+	// PathsPruned counts candidates discarded by any pruning screen:
+	// key-slot losses in ExportAll dedup, dominance rejections and
+	// evictions in normal mode, and subsumption removals in finishRel.
+	PathsPruned int
+	JoinRels    int
+	// ClauseLookups counts join-clause set computations for DP splits.
+	// The reference planner rescans the clause list three times per
+	// viable split (a connectivity probe plus once per join direction);
+	// the fast planner consults its prebuilt clause bitsets once.
+	ClauseLookups int
+}
+
+// Add accumulates o into s (used by cache builders that aggregate the work
+// of several optimizer calls).
+func (s *PlannerStats) Add(o PlannerStats) {
+	s.PathsConsidered += o.PathsConsidered
+	s.PathsRetained += o.PathsRetained
+	s.PathsPruned += o.PathsPruned
+	s.JoinRels += o.JoinRels
+	s.ClauseLookups += o.ClauseLookups
 }
 
 // Result is the output of one optimizer call.
@@ -83,8 +112,24 @@ type Result struct {
 }
 
 // Optimize plans the analysed query under the given index configuration.
-// This function is "one optimizer call" in the paper's accounting.
+// This function is "one optimizer call" in the paper's accounting. It uses
+// the fast planner whenever the analysis supports it (Analysis.FastPlannable)
+// and falls back to the reference loop otherwise; results are bit-identical
+// either way.
 func Optimize(a *Analysis, cfg *query.Config, opt Options) (*Result, error) {
+	return optimize(a, cfg, opt, a.fastPlan)
+}
+
+// OptimizeReference plans with the original (pre-fast-path) planner loop:
+// map-keyed DP table, per-direction clause rescans, string plan keys and
+// all-pairs subsumption pruning. It is retained as the equivalence oracle
+// for the fast path, the way Advisor.RunReference anchors the incremental
+// cost engine: identical results, different work.
+func OptimizeReference(a *Analysis, cfg *query.Config, opt Options) (*Result, error) {
+	return optimize(a, cfg, opt, false)
+}
+
+func optimize(a *Analysis, cfg *query.Config, opt Options, fast bool) (*Result, error) {
 	n := len(a.Rels)
 	if n == 0 {
 		return nil, fmt.Errorf("optimizer: query %s has no relations", a.Q.Name)
@@ -93,6 +138,12 @@ func Optimize(a *Analysis, cfg *query.Config, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("optimizer: query %s joins %d relations; the DP planner supports at most 16", a.Q.Name, n)
 	}
 	p := &planner{a: a, cfg: cfg, opt: opt, res: &Result{}}
+	if fast {
+		p.ctx = newPlanCtx(a, cfg)
+		if opt.ExportAll {
+			p.fastKey = make(map[planKey]int32, 64)
+		}
+	}
 	top, err := p.plan()
 	if err != nil {
 		return nil, err
@@ -122,6 +173,27 @@ type planner struct {
 	cfg *query.Config
 	opt Options
 	res *Result
+
+	// ctx is the per-call fast-path state (fastplan.go); nil selects the
+	// reference planner.
+	ctx *planCtx
+
+	// Fast-path ExportAll construction state for the join relation
+	// currently being filled. The DP completes one relation before
+	// starting the next, so a single keyed store (and its map) serves
+	// the whole call; finishRelFast drains and resets it per relation,
+	// moving the kept paths' keys into keyArena (addressed by Path.pkRef)
+	// where the joins built on top of a finished relation read them.
+	fastKey  map[planKey]int32
+	keyed    []*Path
+	keys     []planKey
+	keyArena []planKey
+
+	// finishRelFast scratch, reused across join relations.
+	metricBuf []float64
+	idxBuf    []int32
+	ordBuf    []int32
+	buckets   [][]int32
 }
 
 type joinRel struct {
@@ -129,13 +201,21 @@ type joinRel struct {
 	rows  float64
 	paths []*Path
 	// byKey deduplicates paths by (leaf combo, output order) during
-	// ExportAll construction; finishRel folds it into paths.
-	byKey map[string]*Path
+	// reference-path ExportAll construction; keyOrder records first
+	// insertion so pruning tie-breaks are deterministic and independent
+	// of map iteration order. finishRel folds both into paths. The fast
+	// path uses the planner's keyed store instead.
+	byKey    map[string]*Path
+	keyOrder []string
 }
 
 // configIndexes returns the configuration's indexes on the table of
-// relation rel.
+// relation rel. The fast path serves the slice from the plan context,
+// computed once per call; the reference path re-filters per probe.
 func (p *planner) configIndexes(rel int) []*catalog.Index {
+	if p.ctx != nil {
+		return p.ctx.perRel[rel]
+	}
 	if p.cfg == nil {
 		return nil
 	}
@@ -230,16 +310,20 @@ func (p *planner) scanPaths(rel int) *joinRel {
 	return jr
 }
 
-// addPath inserts np into jr unless dominated. In normal mode dominance is
-// cheaper-or-equal total cost with a satisfying output order, applied
-// immediately against the retained list. In ExportAll mode the DP generates
-// orders of magnitude more paths, so insertion only deduplicates exactly
-// equal (leaf combo, output order) keys by internal cost; the paper's
-// subsumption pruning (§V-D) runs once per finished join relation in
-// finishRel.
+// addPath inserts an already-materialised path into jr unless dominated. In
+// normal mode dominance is cheaper-or-equal total cost with a satisfying
+// output order, applied immediately against the retained list. In ExportAll
+// mode the DP generates orders of magnitude more paths, so insertion only
+// deduplicates exactly equal (leaf combo, output order) keys by internal
+// cost; the paper's subsumption pruning (§V-D) runs once per finished join
+// relation in finishRel.
 func (p *planner) addPath(jr *joinRel, np *Path) {
 	p.res.Stats.PathsConsidered++
 	if p.opt.ExportAll {
+		if p.ctx != nil {
+			p.insertKeyedPath(p.pathKeyOf(np), np)
+			return
+		}
 		if jr.byKey == nil {
 			jr.byKey = make(map[string]*Path)
 		}
@@ -247,11 +331,16 @@ func (p *planner) addPath(jr *joinRel, np *Path) {
 		if old, ok := jr.byKey[key]; ok {
 			if p.opt.PaperPrune {
 				if old.Cost <= np.Cost {
+					p.res.Stats.PathsPruned++
 					return
 				}
 			} else if old.Internal <= np.Internal {
+				p.res.Stats.PathsPruned++
 				return
 			}
+			p.res.Stats.PathsPruned++ // the displaced incumbent
+		} else {
+			jr.keyOrder = append(jr.keyOrder, key)
 		}
 		jr.byKey[key] = np
 		return
@@ -262,16 +351,106 @@ func (p *planner) addPath(jr *joinRel, np *Path) {
 	}
 	for _, old := range jr.paths {
 		if dominates(old, np) {
+			p.res.Stats.PathsPruned++
 			return
 		}
 	}
 	keep := jr.paths[:0]
 	for _, old := range jr.paths {
-		if !dominates(np, old) {
-			keep = append(keep, old)
+		if dominates(np, old) {
+			p.res.Stats.PathsPruned++
+			continue
 		}
+		keep = append(keep, old)
 	}
 	jr.paths = append(keep, np)
+}
+
+// joinCand is a join path candidate before materialisation: every number
+// the pruning screens need, but no Path, no merged leaf slice, no sort
+// enforcer and no nested-loop inner node. The fast path materialises a
+// candidate only once it survives the key/cost screen; the reference path
+// materialises immediately, preserving the original allocation profile.
+type joinCand struct {
+	op       Op
+	rows     float64
+	cost     float64
+	order    []query.ColRef
+	outer    *Path
+	inner    *Path // nil for OpNestLoop (inner is built at materialise time)
+	clause   int   // index into a.Q.Joins
+	internal float64
+	leafCost float64
+
+	// orderPack is the packed form of order (fast ExportAll mode only).
+	orderPack [2]uint64
+
+	// outerKey/innerKey are the children's packed keys (fast ExportAll
+	// mode only), hoisted out of the candidate loop by joinPaths so
+	// candKeyOf ORs them without an arena lookup per candidate.
+	// innerKey is nil exactly when inner is nil (OpNestLoop).
+	outerKey, innerKey *planKey
+
+	// Merge-join sort enforcers: non-nil when the corresponding side
+	// needs an explicit sort on these keys.
+	sortOuterKey, sortInnerKey []query.ColRef
+
+	// OpNestLoop parameterized inner, built at materialise time.
+	nljRel   int
+	nljIndex *catalog.Index
+	nljCol   string
+	nljColID uint8 // interned column id (fast mode only)
+	nljCoef  float64
+	nljRows  float64
+	nljCost  float64
+}
+
+// materialize builds the full Path for a surviving candidate, reproducing
+// exactly the tree the original planner built eagerly.
+func (c *joinCand) materialize(p *planner, set RelSet) *Path {
+	op := c.outer
+	if c.sortOuterKey != nil {
+		op = p.sortPath(op, c.sortOuterKey)
+	}
+	ip := c.inner
+	if c.sortInnerKey != nil {
+		ip = p.sortPath(ip, c.sortInnerKey)
+	}
+	if c.op == OpNestLoop {
+		ip = &Path{
+			Op:      OpIndexScan,
+			Rels:    Single(c.nljRel),
+			Rows:    c.nljRows,
+			Cost:    c.nljCost,
+			BaseRel: c.nljRel,
+			Index:   c.nljIndex,
+			Order:   nil,
+			Leaves:  p.leavesFor(c.nljRel, LeafReq{Mode: AccessLookup, Col: c.nljCol, Coef: c.nljCoef}),
+		}
+	}
+	return &Path{
+		Op:         c.op,
+		Rels:       set,
+		Rows:       c.rows,
+		Cost:       c.cost,
+		Order:      c.order,
+		Outer:      op,
+		Inner:      ip,
+		JoinClause: p.a.Q.Joins[c.clause],
+		Internal:   c.internal,
+		LeafCost:   c.leafCost,
+		Leaves:     mergeLeaves(op, ip),
+	}
+}
+
+// addJoin routes a join candidate to the deferred fast screen or to the
+// eager reference insertion.
+func (p *planner) addJoin(jr *joinRel, c *joinCand) {
+	if p.ctx != nil {
+		p.addJoinFast(jr, c)
+		return
+	}
+	p.addPath(jr, c.materialize(p, jr.set))
 }
 
 // leavesFor builds a requirement slice with a single non-default entry.
@@ -282,8 +461,9 @@ func (p *planner) leavesFor(rel int, req LeafReq) []LeafReq {
 }
 
 // pathKey builds the (leaf combo, output order) identity used for exact
-// deduplication in ExportAll mode. It avoids fmt for speed: this runs once
-// per generated path.
+// deduplication in the reference path's ExportAll mode. It avoids fmt for
+// speed: this runs once per generated path. The fast path packs the same
+// identity into a fixed-size comparable struct instead (fastplan.go).
 func pathKey(p *Path, preciseNLJ, byColumn bool) string {
 	b := make([]byte, 0, 48)
 	for rel := 0; rel < len(p.Leaves); rel++ {
@@ -322,13 +502,15 @@ func (p *planner) finishRel(jr *joinRel) {
 	if !p.opt.ExportAll {
 		return
 	}
-	paths := make([]*Path, 0, len(jr.byKey))
-	keys := make([]string, 0, len(jr.byKey))
-	for k := range jr.byKey {
-		keys = append(keys, k)
+	if p.ctx != nil {
+		p.finishRelFast(jr)
+		return
 	}
-	sort.Strings(keys) // deterministic results independent of map order
-	for _, k := range keys {
+	// Iterate in first-insertion order: deterministic independent of map
+	// iteration, and the same sequence the fast path's keyed store holds,
+	// so metric ties below break identically in both planners.
+	paths := make([]*Path, 0, len(jr.byKey))
+	for _, k := range jr.keyOrder {
 		paths = append(paths, jr.byKey[k])
 	}
 	// The pruning metric is the provably-safe internal cost by default,
@@ -367,21 +549,32 @@ func (p *planner) finishRel(jr *joinRel) {
 				break
 			}
 		}
-		if !dominated {
-			kept = append(kept, cand)
+		if dominated {
+			p.res.Stats.PathsPruned++
+			continue
 		}
+		kept = append(kept, cand)
 	}
 	jr.paths = kept
 	jr.byKey = nil
+	jr.keyOrder = nil
 }
 
 // clauseRef is a join clause oriented for a specific (outer, inner) pair.
+// The fast path prebuilds the single-column sort-key slices (and their
+// packed order forms) once per call; the reference path leaves them nil
+// and allocates on demand, as the original planner did.
 type clauseRef struct {
 	idx          int // index into a.Q.Joins
 	outer, inner query.ColRef
+	outerKey     []query.ColRef // sort keys enforcing outer-side clause order
+	innerKey     []query.ColRef // sort keys enforcing inner-side clause order
+	outerPack    [2]uint64
+	innerPack    [2]uint64
 }
 
 func (p *planner) clausesBetween(outer, inner RelSet) []clauseRef {
+	p.res.Stats.ClauseLookups++
 	var out []clauseRef
 	for i, j := range p.a.Q.Joins {
 		switch {
@@ -395,8 +588,18 @@ func (p *planner) clausesBetween(outer, inner RelSet) []clauseRef {
 }
 
 // plan runs the dynamic program over connected relation subsets and returns
-// the top join relation.
+// the top join relation, dispatching between the fast and reference
+// implementations.
 func (p *planner) plan() (*joinRel, error) {
+	if p.ctx != nil {
+		return p.planFast()
+	}
+	return p.planReference()
+}
+
+// planReference is the original DP loop: a map-keyed table of join
+// relations and a fresh clause-list scan per split and direction.
+func (p *planner) planReference() (*joinRel, error) {
 	n := len(p.a.Rels)
 	rels := make(map[RelSet]*joinRel)
 	for i := 0; i < n; i++ {
@@ -437,8 +640,8 @@ func (p *planner) plan() (*joinRel, error) {
 			if jr == nil {
 				jr = &joinRel{set: mask, rows: p.a.JoinRows(mask)}
 			}
-			p.joinPaths(jr, left, right)
-			p.joinPaths(jr, right, left)
+			p.joinPaths(jr, left, right, p.clausesBetween(s1, s2))
+			p.joinPaths(jr, right, left, p.clausesBetween(s2, s1))
 		}
 		if jr != nil {
 			p.finishRel(jr)
@@ -453,9 +656,13 @@ func (p *planner) plan() (*joinRel, error) {
 	return top, nil
 }
 
-// joinPaths emits hash, merge, and nested-loop paths joining outer × inner.
-func (p *planner) joinPaths(jr *joinRel, outer, inner *joinRel) {
-	clauses := p.clausesBetween(outer.set, inner.set)
+// joinPaths emits hash, merge, and nested-loop candidates joining
+// outer × inner. The oriented clause list is supplied by the caller: the
+// fast path computes both orientations of a split in one bitset pass, the
+// reference path rescans the query's clause list per direction. All cost
+// arithmetic lives here, shared by both planners, which is what guarantees
+// bit-identical results.
+func (p *planner) joinPaths(jr *joinRel, outer, inner *joinRel, clauses []clauseRef) {
 	if len(clauses) == 0 {
 		return
 	}
@@ -469,42 +676,116 @@ func (p *planner) joinPaths(jr *joinRel, outer, inner *joinRel) {
 		}
 	}
 
+	// Fast ExportAll mode threads packed output orders and the children's
+	// arena keys alongside the slices so candidate keys never re-intern
+	// columns (and candKeyOf never indexes the arena per candidate).
+	exportFast := p.ctx != nil && p.opt.ExportAll
+	var cheapInnerKey *planKey
+	if exportFast && cheapestInner != nil {
+		cheapInnerKey = p.keyOf(cheapestInner)
+	}
+
+	// Indexed nested loops need a single-base-relation inner; the relation
+	// index is loop-invariant.
+	nljInner := p.opt.EnableNestLoop && inner.set.Count() == 1
+	nljRel := 0
+	if nljInner {
+		nljRel = bits.TrailingZeros64(uint64(inner.set))
+	}
+
 	for _, op := range outer.paths {
+		var opKey *planKey
+		if exportFast {
+			opKey = p.keyOf(op)
+		}
+		// The trimmed op.Order (and its pack) feed every nested-loop
+		// candidate below.
+		var opOrd []query.ColRef
+		var opPack [2]uint64
+		if p.opt.EnableNestLoop {
+			if exportFast {
+				opOrd, opPack = p.usefulOrderFast(jr.set, op.Order, opKey.order)
+			} else {
+				opOrd = p.usefulOrder(jr.set, op.Order)
+			}
+		}
+
 		for _, ip := range inner.paths {
+			var ipKey *planKey
+			if exportFast {
+				ipKey = p.keyOf(ip)
+			}
 			// Hash join: order-insensitive, destroys ordering.
 			hc := c.HashJoinCost(op.Rows, ip.Rows, outRows)
-			p.addPath(jr, &Path{
-				Op:         OpHashJoin,
-				Rels:       jr.set,
-				Rows:       outRows,
-				Cost:       op.Cost + ip.Cost + hc,
-				Order:      nil,
-				Outer:      op,
-				Inner:      ip,
-				JoinClause: p.a.Q.Joins[clauses[0].idx],
-				Internal:   op.Internal + ip.Internal + hc,
-				LeafCost:   op.LeafCost + ip.LeafCost,
-				Leaves:     mergeLeaves(op, ip),
+			p.addJoin(jr, &joinCand{
+				op:       OpHashJoin,
+				rows:     outRows,
+				cost:     op.Cost + ip.Cost + hc,
+				order:    nil,
+				outer:    op,
+				inner:    ip,
+				clause:   clauses[0].idx,
+				internal: op.Internal + ip.Internal + hc,
+				leafCost: op.LeafCost + ip.LeafCost,
+				outerKey: opKey,
+				innerKey: ipKey,
 			})
 
 			// Merge join per clause: inputs must be sorted on the clause
 			// columns; explicit sorts are internal enforcers.
-			for _, cl := range clauses {
-				os := p.sorted(op, cl.outer)
-				is := p.sorted(ip, cl.inner)
-				mc := c.MergeJoinCost(os.Rows, is.Rows, outRows)
-				p.addPath(jr, &Path{
-					Op:         OpMergeJoin,
-					Rels:       jr.set,
-					Rows:       outRows,
-					Cost:       os.Cost + is.Cost + mc,
-					Order:      p.usefulOrder(jr.set, os.Order),
-					Outer:      os,
-					Inner:      is,
-					JoinClause: p.a.Q.Joins[cl.idx],
-					Internal:   os.Internal + is.Internal + mc,
-					LeafCost:   os.LeafCost + is.LeafCost,
-					Leaves:     mergeLeaves(os, is),
+			for ci := range clauses {
+				cl := &clauses[ci]
+				osCost, osInternal, osOrder := op.Cost, op.Internal, op.Order
+				var osPack [2]uint64
+				if exportFast {
+					osPack = opKey.order
+				}
+				var sortOuter []query.ColRef
+				if !(len(op.Order) > 0 && op.Order[0] == cl.outer) {
+					sortOuter = cl.outerKey
+					if sortOuter == nil {
+						sortOuter = []query.ColRef{cl.outer}
+					}
+					sc := c.SortCost(op.Rows)
+					osCost += sc
+					osInternal += sc
+					osOrder = sortOuter
+					osPack = cl.outerPack
+				}
+				isCost, isInternal := ip.Cost, ip.Internal
+				var sortInner []query.ColRef
+				if !(len(ip.Order) > 0 && ip.Order[0] == cl.inner) {
+					sortInner = cl.innerKey
+					if sortInner == nil {
+						sortInner = []query.ColRef{cl.inner}
+					}
+					sc := c.SortCost(ip.Rows)
+					isCost += sc
+					isInternal += sc
+				}
+				var mOrd []query.ColRef
+				var mPack [2]uint64
+				if exportFast {
+					mOrd, mPack = p.usefulOrderFast(jr.set, osOrder, osPack)
+				} else {
+					mOrd = p.usefulOrder(jr.set, osOrder)
+				}
+				mc := c.MergeJoinCost(op.Rows, ip.Rows, outRows)
+				p.addJoin(jr, &joinCand{
+					op:           OpMergeJoin,
+					rows:         outRows,
+					cost:         osCost + isCost + mc,
+					order:        mOrd,
+					orderPack:    mPack,
+					outer:        op,
+					inner:        ip,
+					clause:       cl.idx,
+					internal:     osInternal + isInternal + mc,
+					leafCost:     op.LeafCost + ip.LeafCost,
+					sortOuterKey: sortOuter,
+					sortInnerKey: sortInner,
+					outerKey:     opKey,
+					innerKey:     ipKey,
 				})
 			}
 		}
@@ -515,18 +796,28 @@ func (p *planner) joinPaths(jr *joinRel, outer, inner *joinRel) {
 
 		// Indexed nested loop: inner must be a single base relation with
 		// a configuration index on the join column.
-		if inner.set.Count() == 1 {
-			rel := inner.set.Members()[0]
-			for _, cl := range clauses {
-				best := math.Inf(1)
+		if nljInner {
+			for ci := range clauses {
+				cl := &clauses[ci]
+				var best, lrows float64
 				var via *catalog.Index
-				for _, ix := range p.configIndexes(rel) {
-					if !ix.Covers(cl.inner.Column) {
-						continue
+				var colID uint8
+				if p.ctx != nil {
+					m := p.ctx.lookup(p.a, nljRel, cl.inner.Column)
+					best, via, lrows, colID = m.cost, m.ix, m.rows, m.id
+				} else {
+					best = math.Inf(1)
+					for _, ix := range p.configIndexes(nljRel) {
+						if !ix.Covers(cl.inner.Column) {
+							continue
+						}
+						if lc := p.a.LookupCost(nljRel, ix, cl.inner.Column); lc < best {
+							best = lc
+							via = ix
+						}
 					}
-					if lc := p.a.LookupCost(rel, ix, cl.inner.Column); lc < best {
-						best = lc
-						via = ix
+					if via != nil {
+						lrows = p.a.LookupRows(nljRel, cl.inner.Column)
 					}
 				}
 				if via == nil {
@@ -534,28 +825,24 @@ func (p *planner) joinPaths(jr *joinRel, outer, inner *joinRel) {
 				}
 				coef := op.Rows
 				nc := c.NestLoopCost(op.Rows, outRows)
-				innerPath := &Path{
-					Op:      OpIndexScan,
-					Rels:    inner.set,
-					Rows:    p.a.LookupRows(rel, cl.inner.Column),
-					Cost:    best,
-					BaseRel: rel,
-					Index:   via,
-					Order:   nil,
-					Leaves:  p.leavesFor(rel, LeafReq{Mode: AccessLookup, Col: cl.inner.Column, Coef: coef}),
-				}
-				p.addPath(jr, &Path{
-					Op:         OpNestLoop,
-					Rels:       jr.set,
-					Rows:       outRows,
-					Cost:       op.Cost + coef*best + nc,
-					Order:      p.usefulOrder(jr.set, op.Order),
-					Outer:      op,
-					Inner:      innerPath,
-					JoinClause: p.a.Q.Joins[cl.idx],
-					Internal:   op.Internal + nc,
-					LeafCost:   op.LeafCost + coef*best,
-					Leaves:     mergeLeaves(op, innerPath),
+				p.addJoin(jr, &joinCand{
+					op:        OpNestLoop,
+					rows:      outRows,
+					cost:      op.Cost + coef*best + nc,
+					order:     opOrd,
+					orderPack: opPack,
+					outer:     op,
+					clause:    cl.idx,
+					internal:  op.Internal + nc,
+					leafCost:  op.LeafCost + coef*best,
+					nljRel:    nljRel,
+					nljIndex:  via,
+					nljCol:    cl.inner.Column,
+					nljColID:  colID,
+					nljCoef:   coef,
+					nljRows:   lrows,
+					nljCost:   best,
+					outerKey:  opKey,
 				})
 			}
 		}
@@ -568,18 +855,19 @@ func (p *planner) joinPaths(jr *joinRel, outer, inner *joinRel) {
 			rescan := (math.Max(op.Rows, 1) - 1) * c.MaterialRescanCost(ip.Rows)
 			pairs := op.Rows * ip.Rows * c.P.CPUOperatorCost * float64(len(clauses))
 			nc := c.NestLoopCost(op.Rows, outRows) + rescan + pairs
-			p.addPath(jr, &Path{
-				Op:         OpNestLoopMat,
-				Rels:       jr.set,
-				Rows:       outRows,
-				Cost:       op.Cost + ip.Cost + nc,
-				Order:      p.usefulOrder(jr.set, op.Order),
-				Outer:      op,
-				Inner:      ip,
-				JoinClause: p.a.Q.Joins[clauses[0].idx],
-				Internal:   op.Internal + ip.Internal + nc,
-				LeafCost:   op.LeafCost + ip.LeafCost,
-				Leaves:     mergeLeaves(op, ip),
+			p.addJoin(jr, &joinCand{
+				op:        OpNestLoopMat,
+				rows:      outRows,
+				cost:      op.Cost + ip.Cost + nc,
+				order:     opOrd,
+				orderPack: opPack,
+				outer:     op,
+				inner:     ip,
+				clause:    clauses[0].idx,
+				internal:  op.Internal + ip.Internal + nc,
+				leafCost:  op.LeafCost + ip.LeafCost,
+				outerKey:  opKey,
+				innerKey:  cheapInnerKey,
 			})
 		}
 	}
@@ -589,41 +877,45 @@ func (p *planner) joinPaths(jr *joinRel, outer, inner *joinRel) {
 // matter above this relation set: a future merge join on a clause crossing
 // to the set's complement, or the query's grouping/ordering columns. This
 // mirrors PostgreSQL's canonical-pathkey usefulness test and collapses
-// otherwise-identical plans whose orders can never be exploited again.
+// otherwise-identical plans whose orders can never be exploited again. The
+// verdict depends only on (set, leading column), so the fast path memoizes
+// it per join relation.
 func (p *planner) usefulOrder(set RelSet, order []query.ColRef) []query.ColRef {
 	if len(order) == 0 {
 		return nil
 	}
-	lead := order[0]
-	for _, g := range p.a.Q.GroupBy {
-		if g == lead {
+	if ctx := p.ctx; ctx != nil {
+		if p.usefulMemo(set, order[0], ctx.a.orderGID(order[0])) {
 			return order
 		}
+		return nil
 	}
-	for _, o := range p.a.Q.OrderBy {
-		if o == lead {
-			return order
-		}
-	}
-	for _, j := range p.a.Q.Joins {
-		if j.Left == lead && !set.Has(j.Right.Rel) {
-			return order
-		}
-		if j.Right == lead && !set.Has(j.Left.Rel) {
-			return order
-		}
+	if p.usefulLead(set, order[0]) {
+		return order
 	}
 	return nil
 }
 
-// sorted returns path if it already delivers col-order, else wraps it in an
-// explicit (internal-cost) sort.
-func (p *planner) sorted(path *Path, col query.ColRef) *Path {
-	want := []query.ColRef{col}
-	if OrderSatisfies(path.Order, want) {
-		return path
+func (p *planner) usefulLead(set RelSet, lead query.ColRef) bool {
+	for _, g := range p.a.Q.GroupBy {
+		if g == lead {
+			return true
+		}
 	}
-	return p.sortPath(path, want)
+	for _, o := range p.a.Q.OrderBy {
+		if o == lead {
+			return true
+		}
+	}
+	for _, j := range p.a.Q.Joins {
+		if j.Left == lead && !set.Has(j.Right.Rel) {
+			return true
+		}
+		if j.Right == lead && !set.Has(j.Left.Rel) {
+			return true
+		}
+	}
+	return false
 }
 
 func (p *planner) sortPath(child *Path, keys []query.ColRef) *Path {

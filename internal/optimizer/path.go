@@ -155,6 +155,16 @@ type Path struct {
 	// relations in the query); entries for relations outside Rels are
 	// the zero requirement and must be ignored.
 	Leaves []LeafReq
+
+	// pkRef points (1-based) into the planner's per-call key arena at the
+	// packed (leaf combo, output order) identity assigned when the fast
+	// planner retained this path in ExportAll mode: join candidates
+	// derive their own keys by OR-ing their children's packed leaves
+	// instead of re-interning columns (see fastplan.go). Zero means no
+	// key was assigned. The keys live in the arena, not on the path, so
+	// retained plans — which outlive the call inside plan caches by the
+	// thousand — don't each carry the 96-byte key struct.
+	pkRef int32
 }
 
 // LeafCombo derives the interesting order combination this path requires:

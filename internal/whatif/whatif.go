@@ -8,6 +8,7 @@ package whatif
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/pinumdb/pinum/internal/catalog"
 	"github.com/pinumdb/pinum/internal/query"
@@ -20,6 +21,7 @@ type Session struct {
 	base    *catalog.Catalog
 	hypo    map[string]*catalog.Index // by name
 	byKey   map[string]*catalog.Index // by canonical table(cols) key
+	seq     map[string]int            // name → creation counter, orders Indexes()
 	counter int
 }
 
@@ -29,6 +31,7 @@ func NewSession(cat *catalog.Catalog) *Session {
 		base:  cat,
 		hypo:  make(map[string]*catalog.Index),
 		byKey: make(map[string]*catalog.Index),
+		seq:   make(map[string]int),
 	}
 }
 
@@ -53,7 +56,22 @@ func (s *Session) CreateIndex(table string, columns ...string) (*catalog.Index, 
 		}
 		seen[col] = true
 	}
-	key := table + "(" + join(columns) + ")"
+	size := len(table) + 1 + len(columns) // "(", one "," per column, ")"
+	for _, c := range columns {
+		size += len(c)
+	}
+	var kb strings.Builder
+	kb.Grow(size)
+	kb.WriteString(table)
+	kb.WriteByte('(')
+	for i, c := range columns {
+		if i > 0 {
+			kb.WriteByte(',')
+		}
+		kb.WriteString(c)
+	}
+	kb.WriteByte(')')
+	key := kb.String()
 	if ix, ok := s.byKey[key]; ok {
 		return ix, nil
 	}
@@ -62,6 +80,7 @@ func (s *Session) CreateIndex(table string, columns ...string) (*catalog.Index, 
 	ix := storage.HypotheticalIndex(name, t, columns)
 	s.hypo[name] = ix
 	s.byKey[key] = ix
+	s.seq[name] = s.counter
 	return ix, nil
 }
 
@@ -73,16 +92,21 @@ func (s *Session) DropIndex(name string) bool {
 	}
 	delete(s.hypo, name)
 	delete(s.byKey, ix.Key())
+	delete(s.seq, name)
 	return true
 }
 
-// Indexes returns all hypothetical indexes, sorted by name.
+// Indexes returns all hypothetical indexes in creation order. Ordering by
+// the creation counter (not the name) keeps the sequence stable past nine
+// indexes per table: lexicographically "hypo_t_10" sorts before "hypo_t_2",
+// which made AllConfig's index order — and therefore equal-cost index
+// tie-breaks in the planner — depend on how many indexes a session held.
 func (s *Session) Indexes() []*catalog.Index {
 	out := make([]*catalog.Index, 0, len(s.hypo))
 	for _, ix := range s.hypo {
 		out = append(out, ix)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Slice(out, func(i, j int) bool { return s.seq[out[i].Name] < s.seq[out[j].Name] })
 	return out
 }
 
@@ -126,15 +150,4 @@ func (s *Session) CoveringConfig(q *query.Query, oc query.OrderCombo) (*query.Co
 		cfg.Indexes = append(cfg.Indexes, ix)
 	}
 	return cfg, nil
-}
-
-func join(cols []string) string {
-	out := ""
-	for i, c := range cols {
-		if i > 0 {
-			out += ","
-		}
-		out += c
-	}
-	return out
 }

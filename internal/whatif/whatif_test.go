@@ -101,6 +101,46 @@ func TestDropIndex(t *testing.T) {
 	}
 }
 
+func TestIndexesCreationOrder(t *testing.T) {
+	s := NewSession(cat(t))
+	// Eleven distinct keys on one table, so a name sort would interleave
+	// "hypo_t_10" and "hypo_t_11" before "hypo_t_2".
+	combos := [][]string{
+		{"a"}, {"b"}, {"id"},
+		{"a", "b"}, {"b", "a"}, {"a", "id"}, {"id", "a"},
+		{"b", "id"}, {"id", "b"}, {"a", "b", "id"}, {"b", "a", "id"},
+	}
+	var want []string
+	for _, cols := range combos {
+		ix, err := s.CreateIndex("t", cols...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ix.Name)
+	}
+	got := s.Indexes()
+	if len(got) != len(want) {
+		t.Fatalf("session has %d indexes, want %d", len(got), len(want))
+	}
+	for i, ix := range got {
+		if ix.Name != want[i] {
+			t.Fatalf("Indexes()[%d] = %s, want %s (creation order)", i, ix.Name, want[i])
+		}
+	}
+	// Dropping and re-creating places the index at the end, not back in
+	// its old slot.
+	first := got[0]
+	s.DropIndex(first.Name)
+	re, err := s.CreateIndex("t", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixs := s.Indexes()
+	if last := ixs[len(ixs)-1]; last != re {
+		t.Errorf("re-created index is %s at the end, want %s", last.Name, re.Name)
+	}
+}
+
 func TestSessionDoesNotTouchBaseCatalog(t *testing.T) {
 	c := cat(t)
 	s := NewSession(c)
