@@ -311,6 +311,52 @@ func BenchmarkOptimizeExportAll(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeExportAllShapes measures the same cache-construction
+// call on the workload shapes whose join graphs the dense DP sweep handled
+// worst: the 7-relation chain and snowflake enumerate 56 and 84 csg-cmp
+// pairs where the dense sweep walked 966 splits (plus 99 and 91 dead
+// masks). The fast/reference gap here is the PR 4 headline; the star
+// workload above bounds it from below (every fact-dimension subset is
+// connected, so connectivity-awareness saves the least).
+func BenchmarkOptimizeExportAllShapes(b *testing.B) {
+	opt := optimizer.Options{EnableNestLoop: true, ExportAll: true}
+	for _, spec := range []workload.ShapeSpec{
+		{Shape: workload.ShapeChain, Rels: 7, Seed: 42},
+		{Shape: workload.ShapeSnowflake, Rels: 7, Seed: 42},
+	} {
+		cat, q, err := workload.ShapeQuery(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := optimizer.NewAnalysis(q, nil, optimizer.DefaultCostParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := workload.ShapeAllOrdersConfig(cat, q)
+		for _, mode := range []struct {
+			name string
+			call func(*optimizer.Analysis, *query.Config, optimizer.Options) (*optimizer.Result, error)
+		}{
+			{"fast", optimizer.Optimize},
+			{"reference", optimizer.OptimizeReference},
+		} {
+			mode := mode
+			b.Run(fmt.Sprintf("shape=%s/tables=%d/%s", spec.Shape, len(q.Rels), mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				var states int
+				for i := 0; i < b.N; i++ {
+					res, err := mode.call(a, cfg, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					states = res.Stats.EnumStates
+				}
+				b.ReportMetric(float64(states), "dp-states")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationNLJPruning compares the paper's default coarse
 // nested-loop pruning against the §V-D high-accuracy refinement ("a bigger
 // plan cache and slower cost lookup").

@@ -1,0 +1,166 @@
+// The -compare mode: read two BENCH_<label>.json artifacts (a committed
+// baseline and a fresh run) and fail when any benchmark present in both
+// regressed in ns/op by more than the threshold. This closes the loop the
+// ROADMAP left open: artifacts were produced and archived per CI run, but
+// nothing compared consecutive ones, so a shipped speedup could silently
+// rot. Benchmarks that exist on only one side are reported but never fail
+// the gate (new benchmarks appear, old ones retire).
+//
+// The two artifacts are routinely measured on different machines (a
+// committed baseline vs a CI runner), so raw ns/op ratios carry a uniform
+// hardware factor. A benchmark therefore fails the gate only when it
+// exceeds the threshold on BOTH views of its delta: raw (new/old) and
+// normalized by the suite-wide median ratio. A machine that is uniformly
+// 40% slower shifts every raw ratio equally but no normalized one; a
+// change that legitimately speeds up most of the suite shifts the median
+// below 1 and inflates the untouched benchmarks' normalized deltas, but
+// not their raw ones; a single benchmark regressing on comparable
+// hardware — the signature of a code regression — moves both. The median
+// is printed so a genuine across-the-board slowdown on identical hardware
+// remains visible in the log even though it cannot trip the gate.
+//
+// Both views still share one blind spot: a regression broad enough to
+// drag the median with it (most of the suite exercises the fast planner,
+// so a planFast slowdown is exactly that shape). The third check closes
+// it: for every <name>/fast benchmark with a <name>/reference sibling,
+// the fast/reference ns/op ratio — measured within one run on one
+// machine, hence hardware-invariant and independent of the suite median —
+// must not grow by more than the threshold against the baseline's ratio.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func readReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &benchReport{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// runCompare prints a per-benchmark comparison table and returns an error
+// listing every benchmark whose ns/op grew by more than thresholdPct.
+func runCompare(basePath, newPath string, thresholdPct float64) error {
+	base, err := readReport(basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	baseline := make(map[string]benchRecord, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+
+	// Suite-wide median ns/op ratio: the uniform hardware factor between
+	// the two runs, divided out of every per-benchmark delta below.
+	var ratios []float64
+	for _, nb := range fresh.Benchmarks {
+		if ob, ok := baseline[nb.Name]; ok && ob.NsPerOp > 0 {
+			ratios = append(ratios, nb.NsPerOp/ob.NsPerOp)
+		}
+	}
+	median := 1.0
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		median = ratios[len(ratios)/2]
+		if len(ratios)%2 == 0 {
+			median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+		}
+	}
+
+	fmt.Printf("comparing %s (%s) -> %s (%s), threshold +%.0f%% ns/op relative to the suite median ratio (%.2fx)\n",
+		basePath, base.Label, newPath, fresh.Label, thresholdPct, median)
+	var regressions []string
+	matched := 0
+	for _, nb := range fresh.Benchmarks {
+		ob, ok := baseline[nb.Name]
+		if !ok || ob.NsPerOp <= 0 {
+			fmt.Printf("  %-55s %12.0f ns/op  (new, no baseline)\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		matched++
+		rawDelta := 100 * (nb.NsPerOp/ob.NsPerOp - 1)
+		normDelta := 100 * (nb.NsPerOp/ob.NsPerOp/median - 1)
+		verdict := "ok"
+		if rawDelta > thresholdPct && normDelta > thresholdPct {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% raw, %+.1f%% vs suite median)",
+					nb.Name, ob.NsPerOp, nb.NsPerOp, rawDelta, normDelta))
+		}
+		fmt.Printf("  %-55s %12.0f -> %12.0f ns/op  %+7.1f%% raw %+7.1f%% norm  %s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, rawDelta, normDelta, verdict)
+	}
+	// Fast-vs-reference ratio gate (see the package comment): compare each
+	// run's internal fast/reference ratio, which no hardware factor or
+	// median shift can disturb.
+	current := make(map[string]benchRecord, len(fresh.Benchmarks))
+	for _, nb := range fresh.Benchmarks {
+		current[nb.Name] = nb
+	}
+	const refSuffix, fastSuffix = "/reference", "/fast"
+	for _, nb := range fresh.Benchmarks {
+		if len(nb.Name) <= len(fastSuffix) || nb.Name[len(nb.Name)-len(fastSuffix):] != fastSuffix {
+			continue
+		}
+		sibling := nb.Name[:len(nb.Name)-len(fastSuffix)] + refSuffix
+		nr, ok1 := current[sibling]
+		of, ok2 := baseline[nb.Name]
+		or, ok3 := baseline[sibling]
+		if !ok1 || !ok2 || !ok3 || nr.NsPerOp <= 0 || or.NsPerOp <= 0 || of.NsPerOp <= 0 {
+			continue
+		}
+		baseRatio := of.NsPerOp / or.NsPerOp
+		newRatio := nb.NsPerOp / nr.NsPerOp
+		delta := 100 * (newRatio/baseRatio - 1)
+		verdict := "ok"
+		if delta > thresholdPct {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: fast/reference ratio %.3f -> %.3f (%+.1f%%)",
+					nb.Name, baseRatio, newRatio, delta))
+		}
+		fmt.Printf("  %-55s fast/ref ratio %6.3f -> %6.3f  %+7.1f%%  %s\n",
+			nb.Name, baseRatio, newRatio, delta, verdict)
+	}
+
+	seen := make(map[string]bool, len(fresh.Benchmarks))
+	for _, nb := range fresh.Benchmarks {
+		seen[nb.Name] = true
+	}
+	var retired []string
+	for name := range baseline {
+		if !seen[name] {
+			retired = append(retired, name)
+		}
+	}
+	sort.Strings(retired)
+	for _, name := range retired {
+		fmt.Printf("  %-55s (baseline only, not run)\n", name)
+	}
+
+	if matched == 0 {
+		return fmt.Errorf("no benchmark appears in both %s and %s", basePath, newPath)
+	}
+	if len(regressions) > 0 {
+		msg := fmt.Sprintf("%d benchmark(s) regressed more than %.0f%% ns/op:", len(regressions), thresholdPct)
+		for _, r := range regressions {
+			msg += "\n  " + r
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Printf("%d benchmarks compared, none regressed more than %.0f%% vs the suite median\n", matched, thresholdPct)
+	return nil
+}

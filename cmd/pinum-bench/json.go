@@ -18,6 +18,7 @@ import (
 	"github.com/pinumdb/pinum/internal/optimizer"
 	"github.com/pinumdb/pinum/internal/query"
 	"github.com/pinumdb/pinum/internal/whatif"
+	"github.com/pinumdb/pinum/internal/workload"
 )
 
 // benchRecord is one benchmark's measurement in the JSON artifact.
@@ -121,6 +122,41 @@ func runJSONBench(label string, seed int64) (string, error) {
 				}
 			}
 		})
+	}
+
+	// Shape workloads: the chain and snowflake ExportAll calls the
+	// connectivity-aware enumeration (DPccp) targets — their join graphs
+	// are where the dense sweep wasted the most states.
+	for _, spec := range []workload.ShapeSpec{
+		{Shape: workload.ShapeChain, Rels: 7, Seed: seed},
+		{Shape: workload.ShapeSnowflake, Rels: 7, Seed: seed},
+	} {
+		cat, q, err := workload.ShapeQuery(spec)
+		if err != nil {
+			return "", err
+		}
+		a, err := optimizer.NewAnalysis(q, nil, optimizer.DefaultCostParams())
+		if err != nil {
+			return "", err
+		}
+		cfg := workload.ShapeAllOrdersConfig(cat, q)
+		opt := optimizer.Options{EnableNestLoop: true, ExportAll: true}
+		for _, mode := range []struct {
+			name string
+			call func(*optimizer.Analysis, *query.Config, optimizer.Options) (*optimizer.Result, error)
+		}{
+			{"fast", optimizer.Optimize},
+			{"reference", optimizer.OptimizeReference},
+		} {
+			call := mode.call
+			measure(fmt.Sprintf("OptimizeExportAll/shape=%s/tables=%d/%s", spec.Shape, len(q.Rels), mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := call(a, cfg, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 
 	// The whole-workload batch build, serial and with all cores.

@@ -2,9 +2,11 @@
 // figure of §IV/§VI, printed in the same shape the paper reports.
 //
 //	pinum-bench            # run everything
-//	pinum-bench -e e3      # run one experiment (e1..e5)
+//	pinum-bench -e e3      # run one experiment (e1..e6)
 //	pinum-bench -quick     # reduced trial counts for a fast pass
 //	pinum-bench -json PR3  # run the perf suite, write BENCH_PR3.json
+//	pinum-bench -compare BENCH_PR3.json BENCH_ci.json
+//	                       # fail on >20% ns/op regression per benchmark
 package main
 
 import (
@@ -17,13 +19,26 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment to run: e1, e2, e3, e4, e5, or all")
+	exp := flag.String("e", "all", "experiment to run: e1, e2, e3, e4, e5, e6, or all")
 	quick := flag.Bool("quick", false, "reduced trial counts")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	scale := flag.Float64("exec-scale", 0.0005, "materialisation scale for the execution experiment (1.0 = the paper's 10 GB)")
 	workers := flag.Int("workers", 0, "worker pool size for the advisor's cache construction and greedy search in e4 (0 = all CPUs, 1 = serial; results are identical either way). e3 always times builds serially, in isolation, to stay faithful to the paper's methodology")
 	jsonLabel := flag.String("json", "", "run the machine-readable perf suite instead of the experiments and write BENCH_<label>.json (per-benchmark ns/op, allocs/op)")
+	compare := flag.Bool("compare", false, "compare two BENCH_<label>.json files (baseline, fresh) and fail on ns/op regression beyond -threshold")
+	threshold := flag.Float64("threshold", 20, "ns/op regression threshold for -compare, in percent")
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two arguments: <baseline.json> <fresh.json>"))
+		}
+		if err := runCompare(args[0], args[1], *threshold); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *jsonLabel != "" {
 		path, err := runJSONBench(*jsonLabel, *seed)
@@ -77,6 +92,13 @@ func main() {
 	}
 	if run("e5") {
 		r, err := experiments.RunE5(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("e6") {
+		r, err := experiments.RunE6(env)
 		if err != nil {
 			fatal(err)
 		}

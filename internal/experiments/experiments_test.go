@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/pinumdb/pinum/internal/optimizer"
 )
@@ -63,7 +64,12 @@ func TestE3ShapeMatchesPaper(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Log("\n" + r.String())
-	fasterCache := 0
+	// Single-sample build timings below ~1ms are scheduler/allocator noise
+	// (the 2-3-table queries routinely flip around 1.0x under parallel test
+	// load), so the faster-than-INUM criterion only judges builds above
+	// that floor — where the paper's claim lives anyway.
+	const noiseFloor = time.Millisecond
+	fasterCache, timedRows := 0, 0
 	bigQueryBigWin := false
 	for _, row := range r.Rows {
 		if row.PinumCacheCalls != 2 {
@@ -72,8 +78,11 @@ func TestE3ShapeMatchesPaper(t *testing.T) {
 		if row.InumCacheCalls != 2*row.Combos {
 			t.Errorf("%s: INUM made %d calls, want %d", row.Query, row.InumCacheCalls, 2*row.Combos)
 		}
-		if row.CacheSpeedup() > 1 {
-			fasterCache++
+		if row.InumCacheTime >= noiseFloor {
+			timedRows++
+			if row.CacheSpeedup() > 1 {
+				fasterCache++
+			}
 		}
 		if row.Tables > 3 && row.CacheSpeedup() >= 10 {
 			bigQueryBigWin = true
@@ -93,8 +102,14 @@ func TestE3ShapeMatchesPaper(t *testing.T) {
 			}
 		}
 	}
-	if fasterCache < len(r.Rows)-2 {
-		t.Errorf("PINUM cache construction faster on only %d of %d queries", fasterCache, len(r.Rows))
+	if timedRows < 5 {
+		t.Errorf("only %d queries exceeded the %v INUM-build noise floor", timedRows, noiseFloor)
+	}
+	// One row of slack: a build landing just above the floor can still
+	// flip sign from scheduler jitter on a loaded (-race, parallel) runner.
+	if fasterCache < timedRows-1 {
+		t.Errorf("PINUM cache construction faster on only %d of %d above-noise queries",
+			fasterCache, timedRows)
 	}
 	if !bigQueryBigWin {
 		t.Errorf("no >3-table query showed a ≥10x cache-construction speedup")
@@ -152,5 +167,49 @@ func TestE5ShapeMatchesPaper(t *testing.T) {
 	}
 	if r.TotalUnique >= r.TotalCombos {
 		t.Errorf("workload has no redundancy: %d unique of %d combos", r.TotalUnique, r.TotalCombos)
+	}
+}
+
+func TestE6EnumerationSavings(t *testing.T) {
+	e := env(t)
+	r, err := RunE6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if len(r.Rows) < 6 {
+		t.Fatalf("only %d shape rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.FastStates <= 0 || row.DenseStates <= 0 {
+			t.Errorf("%s-%d: empty enumeration counters: %+v", row.Shape, row.Rels, row)
+		}
+		if row.FastStates > row.DenseStates {
+			t.Errorf("%s-%d: DPccp visited more states than the dense sweep: %d > %d",
+				row.Shape, row.Rels, row.FastStates, row.DenseStates)
+		}
+		if row.Exported == 0 {
+			t.Errorf("%s-%d: no exported plans", row.Shape, row.Rels)
+		}
+		// On the sparse shapes (everything but the clique) disconnected
+		// masks exist and must be skipped.
+		if row.Shape != "clique" && row.Rels > 3 && row.MasksSkipped == 0 {
+			t.Errorf("%s-%d: no masks skipped on a sparse shape", row.Shape, row.Rels)
+		}
+		// The acceptance criterion: ≥5x fewer DP states on the 7-chain.
+		if row.Shape == "chain" && row.Rels == 7 && row.StateSaving() < 5 {
+			t.Errorf("chain-7 state saving %.1fx below 5x (fast %d, dense %d)",
+				row.StateSaving(), row.FastStates, row.DenseStates)
+		}
+	}
+	// The clique's subsets are all connected: nothing to skip, and the
+	// enumeration degenerates to the dense sweep's state count.
+	for _, row := range r.Rows {
+		if row.Shape == "clique" && row.MasksSkipped != 0 {
+			t.Errorf("clique-%d skipped %d masks, want 0", row.Rels, row.MasksSkipped)
+		}
+		if row.Shape == "clique" && row.FastStates != row.DenseStates {
+			t.Errorf("clique-%d: fast %d states != dense %d", row.Rels, row.FastStates, row.DenseStates)
+		}
 	}
 }

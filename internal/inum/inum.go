@@ -70,8 +70,9 @@ type BuildStats struct {
 	Duration time.Duration
 	// Planner aggregates the per-call planner work counters across every
 	// optimizer invocation of the build, making the fast path's work
-	// reduction (paths pruned, clause-set lookups) observable per query,
-	// not just timed.
+	// reduction (paths pruned, clause-set lookups, DP states visited by
+	// the connectivity-aware enumeration, disconnected masks skipped)
+	// observable per query, not just timed.
 	Planner optimizer.PlannerStats
 }
 

@@ -59,6 +59,20 @@ type Analysis struct {
 	ordBase  []uint16
 	ordTotal int
 	fastPlan bool
+
+	// Lazily-built connectivity-aware enumeration state, shared by every
+	// fast Optimize call on this analysis: the join graph — and with it
+	// connectivity, the csg-cmp pair list and the overflow verdict —
+	// depends only on the query's join clauses, never on the
+	// configuration or options, so planFast computes it once and reuses
+	// it across the repeated calls cache construction and the experiments
+	// make. Like rowsCache, this makes an Analysis single-threaded with
+	// respect to concurrent Optimize calls (callers already build one
+	// analysis per worker).
+	ccpOnce      bool
+	ccpConnected bool
+	ccpPairs     []csgCmpPair
+	ccpFits      bool
 }
 
 // orderGID returns the dense global id (≥1) of an interned interesting-

@@ -117,6 +117,23 @@ func assertEquivalent(t *testing.T, label string, a *Analysis, cfg *query.Config
 		t.Fatalf("%s: join relations differ: fast %d reference %d",
 			label, fast.Stats.JoinRels, ref.Stats.JoinRels)
 	}
+	// Both planners account skipped (disconnected) masks identically: the
+	// reference by exhausting each one's splits, the fast planner
+	// arithmetically from the connected-subgraph count.
+	if fast.Stats.MasksSkipped != ref.Stats.MasksSkipped {
+		t.Fatalf("%s: masks skipped differ: fast %d reference %d",
+			label, fast.Stats.MasksSkipped, ref.Stats.MasksSkipped)
+	}
+	// The DPccp enumeration must never visit more DP states than the dense
+	// sweep (it visits exactly the viable ones).
+	if fast.Stats.EnumStates > ref.Stats.EnumStates {
+		t.Fatalf("%s: fast planner visited more DP states than the dense sweep: %d > %d",
+			label, fast.Stats.EnumStates, ref.Stats.EnumStates)
+	}
+	if len(a.Rels) > 1 && fast.Stats.EnumStates == 0 {
+		t.Fatalf("%s: fast planner recorded no enumeration states on a %d-relation join",
+			label, len(a.Rels))
+	}
 }
 
 // equivCatalog builds a schema for randomized equivalence workloads: a fact
@@ -198,6 +215,23 @@ func testPlannerEquivalence(t *testing.T, shape string, gen func(*rand.Rand, *ca
 			}
 		}
 	}
+}
+
+// TestDenseFallbackEquivalence forces the csg-cmp pair cap down to zero so
+// planFast abandons the enumeration and takes the dense-sweep fallback
+// (planFastDense), then re-runs the randomized equivalence matrix: the
+// fallback must be just as bit-identical to the reference as DPccp is.
+// Safe to mutate the package global: top-level tests never overlap.
+func TestDenseFallbackEquivalence(t *testing.T) {
+	old := enumPairCap
+	enumPairCap = 0
+	defer func() { enumPairCap = old }()
+	testPlannerEquivalence(t, "dense-fallback", func(rng *rand.Rand, f *catalogFixture) *query.Query {
+		if rng.Intn(2) == 0 {
+			return f.starQuery(rng)
+		}
+		return f.chainQuery(rng)
+	})
 }
 
 // TestPlannerEquivalenceDebugQuery pins the 6-way Q5 analogue with the

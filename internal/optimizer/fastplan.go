@@ -437,9 +437,13 @@ func (p *planner) addJoinFast(jr *joinRel, c *joinCand) {
 	jr.paths = append(keep, np)
 }
 
-// planFast is the dense-table DP loop: join relations indexed by relation
-// mask, clause sets computed once per split from the prebuilt bitsets, and
-// splits with an unplanned half skipped before any clause logic runs.
+// planFast is the connectivity-aware DP loop: join relations indexed by
+// relation mask in a dense table, but instead of sweeping every mask and
+// every submask split, the prebuilt join graph emits only csg-cmp pairs
+// (enumerate.go), pre-sorted into the dense sweep's order so candidate
+// insertion — and with it every tie-break — matches the reference planner
+// exactly. Disconnection is detected up front by a graph reachability
+// check rather than discovered at the full mask.
 func (p *planner) planFast() (*joinRel, error) {
 	n := len(p.a.Rels)
 	rels := make([]*joinRel, 1<<uint(n))
@@ -458,6 +462,73 @@ func (p *planner) planFast() (*joinRel, error) {
 		return rels[Single(0)], nil
 	}
 
+	a := p.a
+	if !a.ccpOnce {
+		a.ccpOnce = true
+		// Connectivity is checked up front (the query package's shared
+		// reachability test), so a cross-product query fails before any
+		// join enumeration instead of at the full mask.
+		a.ccpConnected = a.Q.JoinGraphConnected()
+		if a.ccpConnected {
+			g := newJoinGraph(n, p.ctx.clauses)
+			a.ccpPairs, a.ccpFits = g.csgCmpPairs(enumPairCap)
+		}
+	}
+	if !a.ccpConnected {
+		return nil, fmt.Errorf("optimizer: join graph of query %s is disconnected", p.a.Q.Name)
+	}
+	if !a.ccpFits {
+		// The graph is dense enough that the pair list would rival the
+		// dense sweep's 3^n split count in memory; sweep in place instead
+		// (same order, same results, no pair materialisation).
+		return p.planFastDense(rels, planned)
+	}
+	pairs := a.ccpPairs
+	p.res.Stats.EnumStates += len(pairs)
+
+	// Pairs arrive grouped by union mask, ascending, so both halves of
+	// every pair are planned before their union, and each join relation is
+	// filled contiguously — finishRel drains the keyed store per group
+	// exactly as the dense sweep did per mask. Both halves are connected
+	// with at least one crossing clause by construction, so the dense
+	// sweep's nil-half and empty-clause screens have nothing left to catch.
+	for gi := 0; gi < len(pairs); {
+		mask := pairs[gi].mask
+		jr := &joinRel{set: mask, rows: p.a.JoinRows(mask)}
+		for ; gi < len(pairs) && pairs[gi].mask == mask; gi++ {
+			s1 := pairs[gi].sub
+			s2 := mask ^ s1
+			fwd, rev := p.ctx.crossClauses(s1, s2)
+			p.res.Stats.ClauseLookups++
+			p.joinPaths(jr, rels[s1], rels[s2], fwd)
+			p.joinPaths(jr, rels[s2], rels[s1], rev)
+		}
+		p.finishRel(jr)
+		rels[mask] = jr
+		planned++
+	}
+	p.res.Stats.JoinRels = planned
+	// Every non-trivial mask the dense sweep would visit but the
+	// enumeration never produced is a disconnected subset; the reference
+	// planner counts the same masks one by one as its splits come up empty.
+	p.res.Stats.MasksSkipped += (1<<uint(n) - 1) - planned
+	top := rels[RelSet(1<<uint(n))-1]
+	if top == nil || len(top.paths) == 0 {
+		return nil, fmt.Errorf("optimizer: join graph of query %s is disconnected", p.a.Q.Name)
+	}
+	return top, nil
+}
+
+// planFastDense is the PR 3 dense-table sweep, retained as planFast's
+// fallback for graphs whose csg-cmp pair count overflows enumPairCap (near-
+// clique joins approaching the 16-relation cap, where connectivity-aware
+// enumeration saves nothing). It walks every submask split of every mask in
+// place — no pair list, no sort — visiting splits in exactly the order the
+// sorted pair list reproduces, so results stay bit-identical either way.
+// rels holds the already-planned single-relation entries; planned counts
+// them.
+func (p *planner) planFastDense(rels []*joinRel, planned int) (*joinRel, error) {
+	n := len(p.a.Rels)
 	full := RelSet(1<<uint(n)) - 1
 	for mask := RelSet(3); mask <= full; mask++ {
 		low := mask & -mask
@@ -471,6 +542,7 @@ func (p *planner) planFast() (*joinRel, error) {
 			if s1&low == 0 {
 				continue
 			}
+			p.res.Stats.EnumStates++
 			s2 := mask ^ s1
 			left, right := rels[s1], rels[s2]
 			if left == nil || right == nil {
@@ -491,6 +563,8 @@ func (p *planner) planFast() (*joinRel, error) {
 			p.finishRel(jr)
 			rels[mask] = jr
 			planned++
+		} else {
+			p.res.Stats.MasksSkipped++
 		}
 	}
 	p.res.Stats.JoinRels = planned

@@ -1,0 +1,63 @@
+// Native Go fuzz target cross-checking the fast (DPccp) planner against
+// the reference dense sweep. The fuzzer drives the whole input space the
+// equivalence suite samples: join-graph shape, relation count, random-graph
+// density, generation seed, Options bits, and the configuration choice.
+//
+// Run locally with:
+//
+//	go test ./internal/optimizer -run=NONE -fuzz=FuzzOptimizeEquivalence -fuzztime=30s
+//
+// CI performs a short smoke run on every push.
+package optimizer_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/workload"
+)
+
+func FuzzOptimizeEquivalence(f *testing.F) {
+	// Seed corpus: one entry per shape at 4 relations with the ExportAll
+	// call's options, one at 4 relations with the PreciseNLJ refinement,
+	// plus a pure random tree and a tiny everything-on query.
+	for i := range workload.Shapes {
+		f.Add(uint8(i), uint8(2), uint8(128), int64(42), uint8(3))
+		f.Add(uint8(i), uint8(2), uint8(64), int64(7), uint8(11))
+	}
+	f.Add(uint8(workload.ShapeRandom), uint8(3), uint8(0), int64(1), uint8(19))
+	f.Add(uint8(workload.ShapeChain), uint8(0), uint8(255), int64(99), uint8(31))
+
+	f.Fuzz(func(t *testing.T, shapeB, relsB, densB uint8, seed int64, optB uint8) {
+		spec := workload.ShapeSpec{
+			Shape:   workload.Shapes[int(shapeB)%len(workload.Shapes)],
+			Rels:    2 + int(relsB)%5, // 2..6 relations keeps one exec fast
+			Density: float64(densB) / 255,
+			Seed:    seed,
+		}
+		cat, q, err := workload.ShapeQuery(spec)
+		if err != nil {
+			t.Skip()
+		}
+		// Dense graphs above ~9 clauses make a single ExportAll call take
+		// seconds (in both planners); too slow per fuzz exec.
+		if len(q.Joins) > 9 {
+			t.Skip()
+		}
+		a, err := optimizer.NewAnalysis(q, nil, optimizer.DefaultCostParams())
+		if err != nil || !a.FastPlannable() {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		opt := optionsFromBits(optB)
+		for ci, cfg := range workload.ShapeConfigs(rng, cat, q, 1) {
+			// The label carries the full spec so a CI fuzz failure is
+			// reproducible without the runner's ephemeral corpus file.
+			label := fmt.Sprintf("fuzz/%s/density=%g/seed=%d/cfg=%d/opt=%+v",
+				q.Name, spec.Density, spec.Seed, ci, opt)
+			assertPlannersAgree(t, label, a, cfg, opt)
+		}
+	})
+}

@@ -86,6 +86,19 @@ type PlannerStats struct {
 	// viable split (a connectivity probe plus once per join direction);
 	// the fast planner consults its prebuilt clause bitsets once.
 	ClauseLookups int
+	// EnumStates counts the DP split states the join enumeration visited.
+	// The reference planner's dense sweep walks every proper submask of
+	// every relation subset, discovering disconnected subproblems only by
+	// finding nothing to join; the fast planner enumerates exactly the
+	// connected subgraph / connected-complement pairs of the join graph
+	// (DPccp), so its count is the number of genuinely plannable splits.
+	EnumStates int
+	// MasksSkipped counts the non-trivial relation subsets the dense sweep
+	// visits but that are disconnected and can never hold a plan. The
+	// reference planner discovers each by exhausting its splits; the fast
+	// planner never touches them and reports the same count arithmetically,
+	// so the two planners' values coincide (the equivalence suite pins it).
+	MasksSkipped int
 }
 
 // Add accumulates o into s (used by cache builders that aggregate the work
@@ -96,6 +109,8 @@ func (s *PlannerStats) Add(o PlannerStats) {
 	s.PathsPruned += o.PathsPruned
 	s.JoinRels += o.JoinRels
 	s.ClauseLookups += o.ClauseLookups
+	s.EnumStates += o.EnumStates
+	s.MasksSkipped += o.MasksSkipped
 }
 
 // Result is the output of one optimizer call.
@@ -628,6 +643,7 @@ func (p *planner) planReference() (*joinRel, error) {
 			if s1&low == 0 {
 				continue
 			}
+			p.res.Stats.EnumStates++
 			s2 := mask ^ s1
 			left, lok := rels[s1]
 			right, rok := rels[s2]
@@ -646,6 +662,11 @@ func (p *planner) planReference() (*joinRel, error) {
 		if jr != nil {
 			p.finishRel(jr)
 			rels[mask] = jr
+		} else {
+			// The mask is a disconnected relation subset: every split came
+			// up empty. The fast planner's connectivity-aware enumeration
+			// skips these outright and accounts them identically.
+			p.res.Stats.MasksSkipped++
 		}
 	}
 	p.res.Stats.JoinRels = len(rels)

@@ -28,6 +28,13 @@ func (s RelSet) Intersects(t RelSet) bool { return s&t != 0 }
 // Count returns the cardinality.
 func (s RelSet) Count() int { return bits.OnesCount64(uint64(s)) }
 
+// NextSubset returns the next non-empty subset of s after cur in ascending
+// numeric order, or 0 when cur was the last one (cur == s). Starting from
+// cur == 0 and iterating until the return value is 0 therefore visits every
+// non-empty subset of s exactly once, smallest first — the enumeration
+// order DPccp's neighborhood expansion relies on (enumerate.go).
+func (s RelSet) NextSubset(cur RelSet) RelSet { return (cur - s) & s }
+
 // Members returns the member indices in ascending order.
 func (s RelSet) Members() []int {
 	out := make([]int, 0, s.Count())

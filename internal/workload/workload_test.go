@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -181,6 +182,112 @@ func TestRandomAtomicConfigIsAtomic(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestShapeQueryTopologies(t *testing.T) {
+	for _, sh := range Shapes {
+		for _, n := range []int{2, 4, 7} {
+			spec := ShapeSpec{Shape: sh, Rels: n, Density: 0.5, Seed: int64(31*n) + int64(sh)}
+			cat, q, err := ShapeQuery(spec)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", sh, n, err)
+			}
+			if len(q.Rels) != n {
+				t.Fatalf("%s/%d: %d relations", sh, n, len(q.Rels))
+			}
+			if err := q.Validate(); err != nil {
+				t.Fatalf("%s/%d: %v", sh, n, err)
+			}
+			if !q.JoinGraphConnected() {
+				t.Fatalf("%s/%d: generated query disconnected", sh, n)
+			}
+			wantJoins := -1
+			switch sh {
+			case ShapeChain, ShapeStar, ShapeSnowflake:
+				wantJoins = n - 1
+			case ShapeCycle:
+				wantJoins = n
+				if n == 2 {
+					wantJoins = 1 // the 2-relation cycle degenerates to the chain
+				}
+			case ShapeClique:
+				wantJoins = n * (n - 1) / 2
+			}
+			if wantJoins >= 0 && len(q.Joins) != wantJoins {
+				t.Errorf("%s/%d: %d joins, want %d", sh, n, len(q.Joins), wantJoins)
+			}
+			if sh == ShapeRandom && (len(q.Joins) < n-1 || len(q.Joins) > n*(n-1)/2) {
+				t.Errorf("%s/%d: %d joins outside [n-1, n(n-1)/2]", sh, n, len(q.Joins))
+			}
+			// Every join hangs an fk on the lower-indexed relation and
+			// probes the id of the higher one.
+			for _, j := range q.Joins {
+				if j.Left.Rel >= j.Right.Rel || j.Right.Column != "id" {
+					t.Errorf("%s/%d: unexpected join orientation %s", sh, n, j)
+				}
+			}
+			// Configurations only reference real columns.
+			rng := rand.New(rand.NewSource(5))
+			for _, cfg := range ShapeConfigs(rng, cat, q, 3) {
+				for _, ix := range cfg.Indexes {
+					tb := cat.Table(ix.Table)
+					if tb == nil {
+						t.Fatalf("%s/%d: config index on unknown table %s", sh, n, ix.Table)
+					}
+					for _, col := range ix.Columns {
+						if tb.Column(col) == nil {
+							t.Fatalf("%s/%d: config column %s.%s unknown", sh, n, ix.Table, col)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShapeQueryDeterministic(t *testing.T) {
+	spec := ShapeSpec{Shape: ShapeRandom, Rels: 6, Density: 0.4, Seed: 99}
+	_, q1, err := ShapeQuery(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, q2, err := ShapeQuery(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(q1.Joins) != fmt.Sprint(q2.Joins) ||
+		fmt.Sprint(q1.Filters) != fmt.Sprint(q2.Filters) ||
+		fmt.Sprint(q1.GroupBy) != fmt.Sprint(q2.GroupBy) ||
+		fmt.Sprint(q1.OrderBy) != fmt.Sprint(q2.OrderBy) {
+		t.Error("same spec produced different queries")
+	}
+	spec.Seed = 100
+	_, q3, err := ShapeQuery(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(q1.Joins) == fmt.Sprint(q3.Joins) &&
+		fmt.Sprint(q1.Filters) == fmt.Sprint(q3.Filters) {
+		t.Error("seed does not vary the generated query")
+	}
+}
+
+func TestShapeDensityBounds(t *testing.T) {
+	// Density 0 on the random shape yields a tree; density 1 the clique.
+	_, tree, err := ShapeQuery(ShapeSpec{Shape: ShapeRandom, Rels: 7, Density: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Joins) != 6 {
+		t.Errorf("density 0: %d joins, want 6 (spanning tree)", len(tree.Joins))
+	}
+	_, clique, err := ShapeQuery(ShapeSpec{Shape: ShapeRandom, Rels: 7, Density: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clique.Joins) != 21 {
+		t.Errorf("density 1: %d joins, want 21 (clique)", len(clique.Joins))
 	}
 }
 
