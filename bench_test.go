@@ -8,8 +8,12 @@
 package pinum
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"testing"
@@ -19,7 +23,9 @@ import (
 	"github.com/pinumdb/pinum/internal/experiments"
 	"github.com/pinumdb/pinum/internal/inum"
 	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/plancache"
 	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/serve"
 	"github.com/pinumdb/pinum/internal/storage"
 	"github.com/pinumdb/pinum/internal/whatif"
 	"github.com/pinumdb/pinum/internal/workload"
@@ -441,6 +447,119 @@ func BenchmarkAccessCostCollection(b *testing.B) {
 	b.Run("batch", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			core.CollectAccessCosts(a, cands)
+		}
+	})
+}
+
+// BenchmarkSlimCacheBuild compares tree-backed and slim cache
+// construction on the widest workload query (the costs are identical;
+// slim drops the retained trees at export time).
+func BenchmarkSlimCacheBuild(b *testing.B) {
+	e := env(b)
+	q := e.Queries[9] // 7-way join
+	a := analysis(b, e, q)
+	b.Run("tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(a, whatif.NewSession(e.Star.Catalog)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("slim", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildSlim(a, whatif.NewSession(e.Star.Catalog)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotRoundTrip measures the persistence codec: encoding the
+// whole workload's slim caches and loading them back (decode + cache
+// reconstruction), the work a serving process does once at startup.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	e := env(b)
+	analyses := make([]*optimizer.Analysis, len(e.Queries))
+	for i, q := range e.Queries {
+		analyses[i] = analysis(b, e, q)
+	}
+	slims, err := core.BuildAllSlim(analyses, e.Star.Catalog, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := &plancache.Snapshot{}
+	for _, c := range slims {
+		snap.Queries = append(snap.Queries, plancache.FromCache(c))
+	}
+	var buf bytes.Buffer
+	if err := plancache.Encode(&buf, snap); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w bytes.Buffer
+			if err := plancache.Encode(&w, snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dec, err := plancache.Decode(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for qi := range dec.Queries {
+				if _, err := plancache.ToCache(analyses[qi], dec.Queries[qi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkServeWhatIf fires concurrent /whatif requests at a server
+// running on snapshot-loaded slim caches — the serving layer's request
+// path end to end.
+func BenchmarkServeWhatIf(b *testing.B) {
+	e := env(b)
+	analyses := make([]*optimizer.Analysis, len(e.Queries))
+	for i, q := range e.Queries {
+		analyses[i] = analysis(b, e, q)
+	}
+	caches, err := core.BuildAllSlim(analyses, e.Star.Catalog, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Catalog:  e.Star.Catalog,
+		Stats:    e.Star.Stats,
+		Queries:  e.Queries,
+		Analyses: analyses,
+		Caches:   caches,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := []byte(`{"indexes":[{"table":"fact","columns":["fk_dim1_1","m1"]},{"table":"dim1_1","columns":["a1","id"]}]}`)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/whatif", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				b.Fatalf("/whatif status %d", resp.StatusCode)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
 		}
 	})
 }

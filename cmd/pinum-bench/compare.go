@@ -26,6 +26,19 @@
 // the fast/reference ns/op ratio — measured within one run on one
 // machine, hence hardware-invariant and independent of the suite median —
 // must not grow by more than the threshold against the baseline's ratio.
+//
+// The fourth check targets the residual blind spot the ratio check left
+// open: a slowdown in the shared cost arithmetic hits the fast and
+// reference planners identically, so the fast/reference ratio stays flat
+// while the planner benchmarks drag the suite median up and the raw∧norm
+// rule waves everything through. The reference planner's own code is
+// frozen (it exists as the equivalence oracle), so a reference benchmark
+// has no legitimate way to move against the rest of the suite: its
+// median-normalized delta alone gates it, with no raw-delta escape
+// hatch. The median is anchored by the non-planner benchmarks (snapshot
+// load, serve round-trips), which do not execute the planners' shared
+// arithmetic per request, so an arithmetic slowdown cannot drag the
+// median all the way to the reference ratios and hide there.
 package main
 
 import (
@@ -33,6 +46,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 func readReport(path string) (*benchReport, error) {
@@ -83,6 +97,16 @@ func runCompare(basePath, newPath string, thresholdPct float64) error {
 	fmt.Printf("comparing %s (%s) -> %s (%s), threshold +%.0f%% ns/op relative to the suite median ratio (%.2fx)\n",
 		basePath, base.Label, newPath, fresh.Label, thresholdPct, median)
 	var regressions []string
+	// failedNames keeps each benchmark to a single regression line even
+	// when several checks condemn it.
+	failedNames := make(map[string]bool)
+	fail := func(name, line string) {
+		if failedNames[name] {
+			return
+		}
+		failedNames[name] = true
+		regressions = append(regressions, line)
+	}
 	matched := 0
 	for _, nb := range fresh.Benchmarks {
 		ob, ok := baseline[nb.Name]
@@ -96,9 +120,8 @@ func runCompare(basePath, newPath string, thresholdPct float64) error {
 		verdict := "ok"
 		if rawDelta > thresholdPct && normDelta > thresholdPct {
 			verdict = "REGRESSION"
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% raw, %+.1f%% vs suite median)",
-					nb.Name, ob.NsPerOp, nb.NsPerOp, rawDelta, normDelta))
+			fail(nb.Name, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% raw, %+.1f%% vs suite median)",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, rawDelta, normDelta))
 		}
 		fmt.Printf("  %-55s %12.0f -> %12.0f ns/op  %+7.1f%% raw %+7.1f%% norm  %s\n",
 			nb.Name, ob.NsPerOp, nb.NsPerOp, rawDelta, normDelta, verdict)
@@ -112,7 +135,7 @@ func runCompare(basePath, newPath string, thresholdPct float64) error {
 	}
 	const refSuffix, fastSuffix = "/reference", "/fast"
 	for _, nb := range fresh.Benchmarks {
-		if len(nb.Name) <= len(fastSuffix) || nb.Name[len(nb.Name)-len(fastSuffix):] != fastSuffix {
+		if !strings.HasSuffix(nb.Name, fastSuffix) {
 			continue
 		}
 		sibling := nb.Name[:len(nb.Name)-len(fastSuffix)] + refSuffix
@@ -128,12 +151,32 @@ func runCompare(basePath, newPath string, thresholdPct float64) error {
 		verdict := "ok"
 		if delta > thresholdPct {
 			verdict = "REGRESSION"
-			regressions = append(regressions,
-				fmt.Sprintf("%s: fast/reference ratio %.3f -> %.3f (%+.1f%%)",
-					nb.Name, baseRatio, newRatio, delta))
+			fail(nb.Name, fmt.Sprintf("%s: fast/reference ratio %.3f -> %.3f (%+.1f%%)",
+				nb.Name, baseRatio, newRatio, delta))
 		}
 		fmt.Printf("  %-55s fast/ref ratio %6.3f -> %6.3f  %+7.1f%%  %s\n",
 			nb.Name, baseRatio, newRatio, delta, verdict)
+	}
+
+	// Reference-benchmark gate (the fourth check): frozen oracle code, so
+	// a median-normalized regression is a shared-arithmetic regression
+	// even when the raw delta could pass as a hardware factor.
+	for _, nb := range fresh.Benchmarks {
+		if !strings.HasSuffix(nb.Name, refSuffix) {
+			continue
+		}
+		ob, ok := baseline[nb.Name]
+		if !ok || ob.NsPerOp <= 0 {
+			continue
+		}
+		normDelta := 100 * (nb.NsPerOp/ob.NsPerOp/median - 1)
+		verdict := "ok"
+		if normDelta > thresholdPct {
+			verdict = "REGRESSION"
+			fail(nb.Name, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% vs suite median; reference code is frozen, so this is shared cost arithmetic)",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, normDelta))
+		}
+		fmt.Printf("  %-55s reference norm %+7.1f%%  %s\n", nb.Name, normDelta, verdict)
 	}
 
 	seen := make(map[string]bool, len(fresh.Benchmarks))

@@ -5,8 +5,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -16,7 +20,9 @@ import (
 	"github.com/pinumdb/pinum/internal/experiments"
 	"github.com/pinumdb/pinum/internal/inum"
 	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/plancache"
 	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/serve"
 	"github.com/pinumdb/pinum/internal/whatif"
 	"github.com/pinumdb/pinum/internal/workload"
 )
@@ -182,6 +188,83 @@ func runJSONBench(label string, seed int64) (string, error) {
 			}
 		})
 	}
+
+	// Snapshot + serving layer: these also diversify the suite away from
+	// planner-dominated benchmarks, which is what makes the -compare
+	// reference gate's median a meaningful anchor.
+	slims, err := core.BuildAllSlim(analyses, env.Star.Catalog, 0)
+	if err != nil {
+		return "", err
+	}
+	fp := plancache.Fingerprint(env.Star.Catalog, env.Star.Stats, optimizer.DefaultCostParams())
+	snap := &plancache.Snapshot{Fingerprint: fp}
+	for _, c := range slims {
+		snap.Queries = append(snap.Queries, plancache.FromCache(c))
+	}
+	var snapBuf bytes.Buffer
+	if err := plancache.Encode(&snapBuf, snap); err != nil {
+		return "", err
+	}
+	snapBytes := snapBuf.Bytes()
+
+	measure("SnapshotLoad/queries=10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dec, err := plancache.Decode(snapBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for qi := range dec.Queries {
+				if _, err := plancache.ToCache(analyses[qi], dec.Queries[qi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	// Concurrent /whatif requests against a server running on a
+	// snapshot-loaded cache set — the serving layer's request path end to
+	// end (HTTP, config interning, fan-out cost evaluation).
+	dec, err := plancache.Decode(snapBytes)
+	if err != nil {
+		return "", err
+	}
+	served := make([]*inum.Cache, len(env.Queries))
+	for qi := range dec.Queries {
+		if served[qi], err = plancache.ToCache(analyses[qi], dec.Queries[qi]); err != nil {
+			return "", err
+		}
+	}
+	srv, err := serve.New(serve.Config{
+		Catalog:  env.Star.Catalog,
+		Stats:    env.Star.Stats,
+		Queries:  env.Queries,
+		Analyses: analyses,
+		Caches:   served,
+	})
+	if err != nil {
+		return "", err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	whatIfBody := []byte(`{"indexes":[{"table":"fact","columns":["fk_dim1_1","m1"]},{"table":"dim1_1","columns":["a1","id"]}]}`)
+	measure("ServeWhatIf/queries=10", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				resp, err := http.Post(ts.URL+"/whatif", "application/json", bytes.NewReader(whatIfBody))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					resp.Body.Close()
+					b.Fatalf("/whatif status %d", resp.StatusCode)
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+			}
+		})
+	})
 
 	if len(failed) > 0 {
 		return "", fmt.Errorf("benchmarks failed: %v", failed)

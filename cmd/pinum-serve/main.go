@@ -1,0 +1,235 @@
+// Command pinum-serve is the what-if serving daemon: it loads (or builds
+// and saves) a slim plan-cache snapshot for the star-schema workload once
+// at startup, then answers configuration questions over HTTP with pure
+// cost arithmetic — no optimizer calls per request.
+//
+//	pinum-serve -snapshot star.pcache                 # load or build+save, then serve
+//	pinum-serve -snapshot star.pcache -save-exit      # build the snapshot and exit
+//	pinum-serve -addr 127.0.0.1:8093                  # serve address
+//
+// Endpoints (JSON in, JSON out):
+//
+//	POST /whatif     {"indexes":[{"table":"fact","columns":["a1"]}]}
+//	POST /recommend  {"budget_gb":5,"max_indexes":0}
+//	POST /explain    {"sql":"SELECT ...","indexes":[...]}
+//	GET  /healthz    liveness + cache shape
+//	GET  /statz      per-endpoint latency/throughput counters
+//
+// CI's serve smoke uses the verify modes: after curling a served
+// response to a file, -verify-whatif/-verify-recommend recompute the
+// answer in-process from freshly built tree-backed caches (a plain
+// advisor.Run for /recommend) and fail unless the served JSON matches
+// byte for byte.
+//
+//	pinum-serve -verify-whatif req.json:resp.json
+//	pinum-serve -verify-recommend req.json:resp.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/pinumdb/pinum/internal/advisor"
+	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/serve"
+	"github.com/pinumdb/pinum/internal/storage"
+	"github.com/pinumdb/pinum/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8093", "listen address")
+	seed := flag.Int64("seed", 42, "workload generation seed")
+	scale := flag.Float64("scale", 1.0, "statistics scale (1.0 = the paper's 10 GB)")
+	workers := flag.Int("workers", 0, "worker pool for request evaluation and snapshot builds (0 = all CPUs)")
+	snapshot := flag.String("snapshot", "", "plan-cache snapshot path: loaded when present and fresh, else built and saved")
+	saveExit := flag.Bool("save-exit", false, "build/refresh the snapshot and exit without serving")
+	verifyWhatIf := flag.String("verify-whatif", "", "req.json:resp.json — recompute /whatif in-process and compare")
+	verifyRecommend := flag.String("verify-recommend", "", "req.json:resp.json — recompute /recommend via a plain in-process Advisor.Run and compare")
+	flag.Parse()
+
+	star, err := workload.StarSchema(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	queries, err := star.Queries(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	analyses := make([]*optimizer.Analysis, len(queries))
+	for i, q := range queries {
+		if analyses[i], err = optimizer.NewAnalysis(q, star.Stats, optimizer.DefaultCostParams()); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *verifyWhatIf != "" || *verifyRecommend != "" {
+		if err := verify(star, queries, analyses, *workers, *verifyWhatIf, *verifyRecommend); err != nil {
+			fatal(err)
+		}
+		fmt.Println("verify: served responses match the in-process results")
+		return
+	}
+
+	buildStart := time.Now()
+	caches, buildReason, err := serve.LoadOrBuild(star.Catalog, star.Stats, queries, analyses, *snapshot, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	entries, bytesTotal := 0, int64(0)
+	for _, c := range caches {
+		m := c.MemStats()
+		entries += m.Entries
+		bytesTotal += m.TotalBytes()
+	}
+	how := "loaded from " + *snapshot
+	if buildReason != "" {
+		how = "built with 2 optimizer calls/query: " + buildReason
+		if *snapshot != "" {
+			how += ", saved to " + *snapshot
+		}
+	}
+	log.Printf("caches ready in %v: %d queries, %d entries, ~%.1f KB (%s)",
+		time.Since(buildStart).Round(time.Millisecond), len(queries), entries, float64(bytesTotal)/1024, how)
+	if *saveExit {
+		return
+	}
+
+	srv, err := serve.New(serve.Config{
+		Catalog:  star.Catalog,
+		Stats:    star.Stats,
+		Queries:  queries,
+		Analyses: analyses,
+		Caches:   caches,
+		Workers:  *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("serving /whatif /recommend /explain /healthz /statz on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// verify recomputes served responses from scratch — freshly built
+// tree-backed caches for /whatif, a plain advisor.Run for /recommend —
+// and byte-compares the JSON against the served bodies. It exercises the
+// full snapshot+slim+serve pipeline against the unsliced in-process path.
+func verify(star *workload.Star, queries []*query.Query, analyses []*optimizer.Analysis,
+	workers int, whatIfSpec, recommendSpec string) error {
+
+	caches, err := core.BuildAll(analyses, star.Catalog, workers, false)
+	if err != nil {
+		return err
+	}
+
+	if whatIfSpec != "" {
+		reqPath, respPath, err := splitSpec(whatIfSpec)
+		if err != nil {
+			return err
+		}
+		var req serve.WhatIfRequest
+		if err := readJSON(reqPath, &req); err != nil {
+			return err
+		}
+		// An independent Server over the tree-backed caches prices the
+		// request through the same arithmetic the daemon used on its
+		// slim, snapshot-loaded caches; bit-identity means byte-equal
+		// JSON.
+		srv, err := serve.New(serve.Config{
+			Catalog: star.Catalog, Stats: star.Stats,
+			Queries: queries, Analyses: analyses, Caches: caches, Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		want, err := srv.WhatIf(&req)
+		if err != nil {
+			return err
+		}
+		if err := compareJSON("whatif", respPath, want); err != nil {
+			return err
+		}
+	}
+
+	if recommendSpec != "" {
+		reqPath, respPath, err := splitSpec(recommendSpec)
+		if err != nil {
+			return err
+		}
+		var req serve.RecommendRequest
+		if err := readJSON(reqPath, &req); err != nil {
+			return err
+		}
+		ad := advisor.New(star.Catalog, star.Stats, storage.BytesForGB(req.BudgetGB))
+		ad.Parallelism = workers
+		ad.MaxIndexes = req.MaxIndexes
+		for i, q := range queries {
+			if err := ad.AddPrepared(q, analyses[i], caches[i], 1); err != nil {
+				return err
+			}
+		}
+		res, err := ad.Run()
+		if err != nil {
+			return err
+		}
+		if err := compareJSON("recommend", respPath, serve.RecommendResponseFrom(res, queries)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func splitSpec(spec string) (string, string, error) {
+	i := strings.LastIndex(spec, ":")
+	if i <= 0 || i == len(spec)-1 {
+		return "", "", fmt.Errorf("bad verify spec %q, want req.json:resp.json", spec)
+	}
+	return spec[:i], spec[i+1:], nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// compareJSON renders want exactly as the HTTP handlers do and diffs it
+// against the served body on disk.
+func compareJSON(what, servedPath string, want any) error {
+	served, err := os.ReadFile(servedPath)
+	if err != nil {
+		return err
+	}
+	expect, err := serve.EncodeJSON(want)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(bytes.TrimSpace(served), bytes.TrimSpace(expect)) {
+		return fmt.Errorf("%s: served response %s differs from the in-process result:\n--- served ---\n%s\n--- in-process ---\n%s",
+			what, servedPath, bytes.TrimSpace(served), bytes.TrimSpace(expect))
+	}
+	fmt.Printf("verify %s: %s matches the in-process result (%d bytes)\n", what, servedPath, len(expect))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pinum-serve:", err)
+	os.Exit(1)
+}

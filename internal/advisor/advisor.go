@@ -135,6 +135,27 @@ func (ad *Advisor) AddQuery(q *query.Query, weight float64) error {
 	return nil
 }
 
+// AddPrepared registers a workload query whose analysis and plan cache
+// already exist — the serving layer's path, where one immutable cache set
+// is built (or loaded from a snapshot) at startup and every /recommend
+// request prices it through a fresh Advisor. The cache is shared, not
+// copied: Cost and the leaf memo are safe for concurrent use, and the
+// greedy search's own state lives in the per-run cost engine.
+func (ad *Advisor) AddPrepared(q *query.Query, a *optimizer.Analysis, cache *inum.Cache, weight float64) error {
+	if weight <= 0 {
+		weight = 1
+	}
+	ad.calls += cache.Stats.OptimizerCalls
+	base, _, err := cache.Cost(&query.Config{})
+	if err != nil {
+		return fmt.Errorf("advisor: base cost for %s: %w", q.Name, err)
+	}
+	ad.queries = append(ad.queries, &QueryState{
+		Query: q, A: a, Cache: cache, Weight: weight, BaseCost: base,
+	})
+	return nil
+}
+
 // AddQueries registers a whole workload at once, building the PINUM plan
 // caches across the advisor's worker pool (core.BuildAll). weights may be
 // nil, meaning weight 1 for every query; otherwise it must be parallel to
@@ -227,6 +248,15 @@ func (ad *Advisor) GenerateCandidates() int {
 // GenerationErrors returns the candidate-generation failures recorded so
 // far.
 func (ad *Advisor) GenerationErrors() []error { return ad.genErrs }
+
+// Candidates returns the registered candidate indexes in registration
+// order. A long-lived server generates the workload's candidate set once
+// and feeds it to every per-request advisor through AddCandidate, so the
+// shared caches' leaf memo sees one stable descriptor per candidate
+// instead of fresh ones per request.
+func (ad *Advisor) Candidates() []*catalog.Index {
+	return append([]*catalog.Index(nil), ad.candidates...)
+}
 
 // AddCandidate registers an externally supplied candidate index,
 // deduplicating by name against both earlier AddCandidate calls and

@@ -84,3 +84,10 @@ func BuildAll(analyses []*optimizer.Analysis, cat *catalog.Catalog, workers int,
 	}
 	return BuildAllWith(analyses, cat, workers, fn)
 }
+
+// BuildAllSlim fills one slim PINUM plan cache per analysis across a
+// bounded worker pool — the batch construction the snapshot store and the
+// serving layer start from.
+func BuildAllSlim(analyses []*optimizer.Analysis, cat *catalog.Catalog, workers int) ([]*inum.Cache, error) {
+	return BuildAllWith(analyses, cat, workers, BuildSlim)
+}

@@ -25,7 +25,7 @@ import (
 // with and one without nested-loop joins), implementing §V-D with the
 // paper's default, coarse treatment of nested-loop plans.
 func Build(a *optimizer.Analysis, ws *whatif.Session) (*inum.Cache, error) {
-	return build(a, ws, false)
+	return build(a, ws, false, false)
 }
 
 // BuildPrecise fills the cache with the §V-D refinement enabled: nested-
@@ -33,12 +33,36 @@ func Build(a *optimizer.Analysis, ws *whatif.Session) (*inum.Cache, error) {
 // plan cache and slower cost lookup" for exact nested-loop costing. The
 // ablation benchmarks compare the two.
 func BuildPrecise(a *optimizer.Analysis, ws *whatif.Session) (*inum.Cache, error) {
-	return build(a, ws, true)
+	return build(a, ws, true, false)
 }
 
-func build(a *optimizer.Analysis, ws *whatif.Session, precise bool) (*inum.Cache, error) {
+// BuildSlim fills a slim cache: the same two optimizer calls, but every
+// exported plan is reduced to its INUM decomposition on the spot and the
+// planner's retained path trees become garbage as soon as each call
+// returns. Cost/BaseLeafCosts results are bit-identical to Build's; the
+// cache just cannot render EXPLAIN trees or feed the executor. This is
+// the construction the persistent snapshot store and the serving layer
+// use.
+func BuildSlim(a *optimizer.Analysis, ws *whatif.Session) (*inum.Cache, error) {
+	return build(a, ws, false, true)
+}
+
+// Builder returns the BuildFunc for the given mode flags, the seam batch
+// construction (BuildAllWith) and the public API select flavours through.
+func Builder(precise, slim bool) BuildFunc {
+	return func(a *optimizer.Analysis, ws *whatif.Session) (*inum.Cache, error) {
+		return build(a, ws, precise, slim)
+	}
+}
+
+func build(a *optimizer.Analysis, ws *whatif.Session, precise, slim bool) (*inum.Cache, error) {
 	start := time.Now()
-	c := inum.NewCache(a)
+	var c *inum.Cache
+	if slim {
+		c = inum.NewSlimCache(a)
+	} else {
+		c = inum.NewCache(a)
+	}
 	c.Stats.CombosEnumerated = a.Q.ComboCount()
 
 	cfg, err := inum.AllOrdersConfig(a, ws)
@@ -66,7 +90,11 @@ func build(a *optimizer.Analysis, ws *whatif.Session, precise bool) (*inum.Cache
 			c.AddPath(p)
 		}
 	}
+	if slim {
+		c.Seal()
+	}
 	c.Stats.Duration = time.Since(start)
+	c.Stats.Mem = c.MemStats()
 	return c, nil
 }
 

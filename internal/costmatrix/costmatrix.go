@@ -13,6 +13,12 @@
 // index (table → queries) skips entirely the queries that never reference
 // the candidate's table.
 //
+// The engine consumes only each cached plan's slim decomposition —
+// Internal, Leaves, and the BaseLeafCosts snapshot — never the plan's
+// path tree, so it runs unchanged over slim and snapshot-loaded caches
+// (internal/plancache) as well as tree-backed ones; the serving layer's
+// /recommend endpoint relies on exactly that.
+//
 // The engine's results are bit-identical to pricing each configuration from
 // scratch through inum.Cache.Cost: per-leaf minimisation visits indexes in
 // the same order (applied set in pick order, candidate last) with the same

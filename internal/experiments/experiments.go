@@ -262,6 +262,13 @@ type E3Row struct {
 	InumPlanner  optimizer.PlannerStats
 	PinumPlanner optimizer.PlannerStats
 
+	// PinumMem and SlimMem compare the retained memory of the tree-backed
+	// PINUM cache against a slim build of the same query (identical
+	// entries and costs, path trees dropped at export time). The ratio is
+	// the slim-cache headline: peak cache bytes per query before/after.
+	PinumMem inum.MemStats
+	SlimMem  inum.MemStats
+
 	InumAccessTime  time.Duration
 	InumAccessCalls int
 	PinumAccessTime time.Duration
@@ -286,6 +293,14 @@ func (r *E3Row) AccessSpeedup() float64 {
 		return 0
 	}
 	return float64(r.InumAccessTime) / float64(r.PinumAccessTime)
+}
+
+// MemSaving is the tree-vs-slim cache memory reduction factor.
+func (r *E3Row) MemSaving() float64 {
+	if r.SlimMem.TotalBytes() <= 0 {
+		return 0
+	}
+	return float64(r.PinumMem.TotalBytes()) / float64(r.SlimMem.TotalBytes())
 }
 
 // E3Result is the Fig. 4/5 data.
@@ -327,6 +342,13 @@ func RunE3(env *Env, queries []*query.Query) (*E3Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Slim builds of the same queries, for the memory column only (their
+	// timings are not reported; the paper's Fig. 4/5 methodology applies
+	// to the two cache flavours above).
+	slims, err := core.BuildAllWith(analyses, env.Star.Catalog, 1, core.BuildSlim)
+	if err != nil {
+		return nil, err
+	}
 	for qi, q := range queries {
 		a := analyses[qi]
 		row := E3Row{Query: q.Name, Tables: len(q.Rels), Combos: q.ComboCount()}
@@ -337,7 +359,11 @@ func RunE3(env *Env, queries []*query.Query) (*E3Result, error) {
 		row.PinumCacheTime = pins[qi].Stats.Duration
 		row.PinumCacheCalls = pins[qi].Stats.OptimizerCalls
 		row.PinumPlanner = pins[qi].Stats.Planner
+		row.PinumMem = pins[qi].Stats.Mem
 		pins[qi] = nil
+
+		row.SlimMem = slims[qi].Stats.Mem
+		slims[qi] = nil
 
 		row.InumCacheTime = ins[qi].Stats.Duration
 		row.InumCacheCalls = ins[qi].Stats.OptimizerCalls
@@ -389,6 +415,8 @@ func (r *E3Result) String() string {
 			row.PinumPlanner.PathsConsidered, row.PinumPlanner.PathsPruned, row.PinumPlanner.ClauseLookups)
 		fmt.Fprintf(&b, "         enumeration: %d DP states visited, %d disconnected masks skipped\n",
 			row.PinumPlanner.EnumStates, row.PinumPlanner.MasksSkipped)
+		fmt.Fprintf(&b, "         cache memory: tree %s | slim %s | %.1fx smaller\n",
+			row.PinumMem, row.SlimMem, row.MemSaving())
 		if row.AccessErrors > 0 {
 			fmt.Fprintf(&b, "  %-5s  WARNING: %d optimizer failures during access-cost collection; timings above are from incomplete tables\n",
 				row.Query, row.AccessErrors)
@@ -667,6 +695,11 @@ type E6Row struct {
 	Exported int
 	FastTime time.Duration
 	RefTime  time.Duration
+	// TreeMem and SlimMem compare the retained memory of a plan cache
+	// filled from this call's exported set with and without path trees
+	// (the slim-cache refactor's per-shape saving).
+	TreeMem inum.MemStats
+	SlimMem inum.MemStats
 }
 
 // StateSaving is the DP-state reduction factor.
@@ -683,6 +716,14 @@ func (r *E6Row) Speedup() float64 {
 		return 0
 	}
 	return float64(r.RefTime) / float64(r.FastTime)
+}
+
+// MemSaving is the tree-vs-slim cache memory reduction factor.
+func (r *E6Row) MemSaving() float64 {
+	if r.SlimMem.TotalBytes() <= 0 {
+		return 0
+	}
+	return float64(r.TreeMem.TotalBytes()) / float64(r.SlimMem.TotalBytes())
 }
 
 // E6Result is the enumeration experiment's table.
@@ -740,6 +781,14 @@ func RunE6(env *Env) (*E6Result, error) {
 			return nil, fmt.Errorf("E6 %s reference: %w", q.Name, err)
 		}
 
+		// Fill one tree-backed and one slim cache from the same exported
+		// set to measure what each retains.
+		tree, slim := inum.NewCache(a), inum.NewSlimCache(a)
+		for _, p := range fast.Exported {
+			tree.AddPath(p)
+			slim.AddPath(p)
+		}
+
 		res.Rows = append(res.Rows, E6Row{
 			Shape:        spec.Shape.String(),
 			Rels:         len(q.Rels),
@@ -750,6 +799,8 @@ func RunE6(env *Env) (*E6Result, error) {
 			Exported:     len(fast.Exported),
 			FastTime:     fastTime,
 			RefTime:      refTime,
+			TreeMem:      tree.MemStats(),
+			SlimMem:      slim.MemStats(),
 		})
 	}
 	return res, nil
@@ -779,14 +830,16 @@ func timedOptimize(call func(*optimizer.Analysis, *query.Config, optimizer.Optio
 func (r *E6Result) String() string {
 	var b strings.Builder
 	b.WriteString("E6 connectivity-aware join enumeration (DPccp) vs dense sweep\n")
-	b.WriteString("  shape      rels joins  DP states fast/dense   saving  masks skipped  plans      fast call       ref call  speedup\n")
+	b.WriteString("  shape      rels joins  DP states fast/dense   saving  masks skipped  plans      fast call       ref call  speedup   cache tree/slim KB\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %-9s  %4d %5d  %9d / %-9d %5.1fx  %13d  %5d  %13v  %13v  %6.1fx\n",
+		fmt.Fprintf(&b, "  %-9s  %4d %5d  %9d / %-9d %5.1fx  %13d  %5d  %13v  %13v  %6.1fx  %7.1f / %-7.1f %4.1fx\n",
 			row.Shape, row.Rels, row.Joins,
 			row.FastStates, row.DenseStates, row.StateSaving(),
 			row.MasksSkipped, row.Exported,
 			row.FastTime.Round(time.Microsecond), row.RefTime.Round(time.Microsecond),
-			row.Speedup())
+			row.Speedup(),
+			float64(row.TreeMem.TotalBytes())/1024, float64(row.SlimMem.TotalBytes())/1024,
+			row.MemSaving())
 	}
 	b.WriteString("  (dense sweep: every submask split of every relation subset; DPccp: connected\n")
 	b.WriteString("   subgraph/complement pairs only — results are bit-identical either way)\n")

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 	"time"
+	"unsafe"
 
 	"github.com/pinumdb/pinum/internal/catalog"
 	"github.com/pinumdb/pinum/internal/optimizer"
@@ -43,9 +44,14 @@ type CachedPlan struct {
 	// separately because their cost is only piecewise linear in access
 	// costs.
 	NLJ bool
-	// Sig is the canonical structural signature (plan identity).
+	// Sig is the canonical structural signature (plan identity). Slim
+	// entries drop it (dedup already happened at construction); it is ""
+	// for them and for entries decoded from snapshots.
 	Sig string
 	// Path is the originating path tree, kept for EXPLAIN and execution.
+	// Slim cache entries store nil: Cost and BaseLeafCosts never read it,
+	// and dropping it releases the DP planner's retained trees — the
+	// dominant share of cache memory on wide ExportAll queries.
 	Path *optimizer.Path
 }
 
@@ -74,6 +80,36 @@ type BuildStats struct {
 	// the connectivity-aware enumeration, disconnected masks skipped)
 	// observable per query, not just timed.
 	Planner optimizer.PlannerStats
+	// Mem snapshots the cache's retained memory at the end of the build
+	// (entries, retained path-tree nodes, approximate bytes), so the
+	// slim-cache saving is measurable per query.
+	Mem MemStats
+}
+
+// MemStats reports a cache's retained memory: how many entries it holds,
+// how many path-tree nodes those entries pin (0 for slim caches), and the
+// approximate heap bytes of each part.
+type MemStats struct {
+	// Entries is the number of cached plans.
+	Entries int
+	// RetainedPathNodes counts the distinct Path nodes reachable from the
+	// entries (shared subtrees counted once).
+	RetainedPathNodes int
+	// EntryBytes approximates the slim side of the cache: CachedPlan
+	// structs, leaf-requirement slices, combos and signatures.
+	EntryBytes int64
+	// PathBytes approximates the retained path trees (0 for slim caches).
+	PathBytes int64
+}
+
+// TotalBytes is the cache's whole approximate footprint.
+func (m MemStats) TotalBytes() int64 { return m.EntryBytes + m.PathBytes }
+
+// String renders the stats compactly.
+func (m MemStats) String() string {
+	return fmt.Sprintf("%d entries, %d path nodes, ~%.1f KB (%.1f KB entries + %.1f KB paths)",
+		m.Entries, m.RetainedPathNodes,
+		float64(m.TotalBytes())/1024, float64(m.EntryBytes)/1024, float64(m.PathBytes)/1024)
 }
 
 // Cache is an INUM plan cache for one query. Cost is safe for concurrent
@@ -84,6 +120,10 @@ type Cache struct {
 	A     *optimizer.Analysis
 	Plans []*CachedPlan
 	Stats BuildStats
+
+	// slim caches drop every entry's path tree and signature at AddPath
+	// time, retaining only the INUM decomposition Cost consumes.
+	slim bool
 
 	sigs map[string]bool
 
@@ -122,37 +162,97 @@ func NewCache(a *optimizer.Analysis) *Cache {
 	}
 }
 
+// NewSlimCache returns an empty slim cache over the analysed query: every
+// AddPath retains only the plan's INUM decomposition (combo, internal
+// cost, per-relation leaf requirements) and drops the path tree and the
+// signature string. Cost and BaseLeafCosts results are bit-identical to a
+// tree-backed cache built from the same paths — they never read either.
+func NewSlimCache(a *optimizer.Analysis) *Cache {
+	c := NewCache(a)
+	c.slim = true
+	return c
+}
+
+// Slim reports whether the cache drops path trees at AddPath time.
+func (c *Cache) Slim() bool { return c.slim }
+
 // AddPath converts an optimizer path into a cache entry, deduplicating by
-// structural signature. It reports whether the plan was new.
+// structural signature. It reports whether the plan was new. On a sealed
+// cache the dedup map is gone, so every path is admitted (as Seal
+// documents); the signature is computed before the (allocating) summary
+// so duplicate-heavy ExportAll streams pay only the string per duplicate.
 func (c *Cache) AddPath(p *optimizer.Path) bool {
 	c.Stats.PlansSeen++
 	sig := p.Signature()
-	if c.sigs[sig] {
-		return false
+	if c.sigs != nil {
+		if c.sigs[sig] {
+			return false
+		}
+		c.sigs[sig] = true
 	}
-	c.sigs[sig] = true
-	n := len(c.Q.Rels)
-	leaves := make([]optimizer.LeafReq, n)
-	for i := 0; i < n; i++ {
-		leaves[i] = optimizer.LeafReq{Mode: optimizer.AccessAny, Coef: 1}
+	s := optimizer.Summarize(p, len(c.Q.Rels))
+	cp := &CachedPlan{
+		Combo:    s.Combo,
+		Internal: s.Internal,
+		Leaves:   s.Leaves,
+		NLJ:      s.NLJ,
 	}
+	if !c.slim {
+		cp.Sig = sig
+		cp.Path = p
+	}
+	c.Plans = append(c.Plans, cp)
+	c.Stats.PlansCached++
+	return true
+}
+
+// AddSlim appends one slim entry from its stored decomposition — the
+// snapshot decode path (internal/plancache), where dedup already happened
+// at original construction time and no path tree exists. The combo and
+// NLJ flag are re-derived from the leaves exactly as Summarize derives
+// them from a complete plan's requirements.
+func (c *Cache) AddSlim(internal float64, leaves []optimizer.LeafReq) *CachedPlan {
+	combo := make(query.OrderCombo, len(leaves))
 	nlj := false
-	for rel, req := range p.Leaves {
-		leaves[rel] = req
+	for rel, req := range leaves {
+		if req.Mode != optimizer.AccessAny {
+			combo[rel] = req.Col
+		}
 		if req.Mode == optimizer.AccessLookup {
 			nlj = true
 		}
 	}
-	c.Plans = append(c.Plans, &CachedPlan{
-		Combo:    p.LeafCombo(n),
-		Internal: p.Internal,
-		Leaves:   leaves,
-		NLJ:      nlj,
-		Sig:      sig,
-		Path:     p,
-	})
+	cp := &CachedPlan{Combo: combo, Internal: internal, Leaves: leaves, NLJ: nlj}
+	c.Plans = append(c.Plans, cp)
+	c.Stats.PlansSeen++
 	c.Stats.PlansCached++
-	return true
+	return cp
+}
+
+// Seal marks construction finished: the signature dedup map is dropped so
+// its strings can be collected. Builders call it once every AddPath is
+// done; a sealed cache still serves Cost, BaseLeafCosts and the leaf memo
+// normally, but further AddPath calls would no longer deduplicate.
+func (c *Cache) Seal() {
+	c.sigs = nil
+}
+
+// MemStats walks the cache and reports its retained memory: slim entry
+// structures and, for tree-backed caches, the distinct path nodes the
+// entries pin (shared DP subtrees counted once).
+func (c *Cache) MemStats() MemStats {
+	m := MemStats{Entries: len(c.Plans)}
+	seen := make(map[*optimizer.Path]bool)
+	for _, cp := range c.Plans {
+		m.EntryBytes += int64(unsafe.Sizeof(*cp))
+		m.EntryBytes += int64(cap(cp.Leaves)) * int64(unsafe.Sizeof(optimizer.LeafReq{}))
+		m.EntryBytes += int64(cap(cp.Combo)) * 16 // string headers; contents are shared column names
+		m.EntryBytes += int64(len(cp.Sig))
+		nodes, bytes := cp.Path.Footprint(seen)
+		m.RetainedPathNodes += nodes
+		m.PathBytes += bytes
+	}
+	return m
 }
 
 // Cost estimates the query's optimal cost under the configuration using
@@ -382,6 +482,7 @@ func Build(a *optimizer.Analysis, ws *whatif.Session) (*Cache, error) {
 		}
 	}
 	c.Stats.Duration = time.Since(start)
+	c.Stats.Mem = c.MemStats()
 	return c, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"unsafe"
 
 	"github.com/pinumdb/pinum/internal/catalog"
 	"github.com/pinumdb/pinum/internal/query"
@@ -185,6 +186,75 @@ func (p *Path) LeafCombo(nRels int) query.OrderCombo {
 		}
 	}
 	return combo
+}
+
+// PlanSummary is the INUM decomposition of one complete plan, detached
+// from the path tree that produced it: exactly what the cached cost model
+// (inum.Cache.Cost) consumes. Slim plan caches retain only this, so the
+// DP planner's retained trees become garbage the moment the optimizer
+// call returns instead of living for the cache's lifetime.
+type PlanSummary struct {
+	// Combo is the interesting order combination the plan requires.
+	Combo query.OrderCombo
+	// Internal is the access-method-independent cost.
+	Internal float64
+	// Leaves holds one access requirement per query relation.
+	Leaves []LeafReq
+	// NLJ marks plans containing nested-loop joins.
+	NLJ bool
+}
+
+// Summarize extracts the INUM decomposition of a complete plan over nRels
+// relations. The leaf normalisation (AccessAny with coefficient 1 for
+// every relation, overwritten by the plan's own requirements) is the one
+// the plan cache has always applied; hoisting it here lets tree-backed
+// and slim caches share it bit for bit.
+func Summarize(p *Path, nRels int) PlanSummary {
+	leaves := newLeaves(nRels)
+	nlj := false
+	for rel, req := range p.Leaves {
+		leaves[rel] = req
+		if req.Mode == AccessLookup {
+			nlj = true
+		}
+	}
+	return PlanSummary{
+		Combo:    p.LeafCombo(nRels),
+		Internal: p.Internal,
+		Leaves:   leaves,
+		NLJ:      nlj,
+	}
+}
+
+// Footprint accumulates the retained size of the path tree rooted at p
+// into (nodes, bytes), skipping nodes already recorded in seen — DP plans
+// share subtrees heavily, and double-counting them would overstate the
+// cache's real footprint. bytes covers the Path structs plus their owned
+// slices (leaf requirements, pathkeys, sort keys), the storage a slim
+// cache entry gives back.
+func (p *Path) Footprint(seen map[*Path]bool) (nodes int, bytes int64) {
+	if p == nil || seen[p] {
+		return 0, 0
+	}
+	seen[p] = true
+	nodes, bytes = 1, pathNodeBytes(p)
+	for _, child := range []*Path{p.Outer, p.Inner, p.Child} {
+		n, b := child.Footprint(seen)
+		nodes += n
+		bytes += b
+	}
+	return nodes, bytes
+}
+
+// pathNodeBytes estimates one node's heap footprint: the struct itself
+// plus its owned slice backing arrays (slice headers are inside the
+// struct; string contents are shared column names and not charged).
+func pathNodeBytes(p *Path) int64 {
+	b := int64(unsafe.Sizeof(Path{}))
+	b += int64(cap(p.Leaves)) * int64(unsafe.Sizeof(LeafReq{}))
+	b += int64(cap(p.Order)) * int64(unsafe.Sizeof(query.ColRef{}))
+	b += int64(cap(p.SortKeys)) * int64(unsafe.Sizeof(query.ColRef{}))
+	return b
 }
 
 // OrderSatisfies reports whether the order provided by `have` satisfies the

@@ -1,0 +1,383 @@
+package plancache
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/advisor"
+	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/inum"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/stats"
+	"github.com/pinumdb/pinum/internal/storage"
+	"github.com/pinumdb/pinum/internal/whatif"
+	"github.com/pinumdb/pinum/internal/workload"
+)
+
+// selfJoinQuery joins dim1_1 to itself so one table owns two relation
+// slots with different requirements — the case that historically broke
+// per-table assumptions.
+func selfJoinQuery(t *testing.T, s *workload.Star, name, orderCol string) *query.Query {
+	t.Helper()
+	d := s.Catalog.Table("dim1_1")
+	if d == nil {
+		t.Fatal("no dim1_1 table")
+	}
+	q := &query.Query{
+		Name: name,
+		Rels: []query.Rel{{Table: d, Alias: "e"}, {Table: d, Alias: "m"}},
+		Joins: []query.Join{{
+			Left:  query.ColRef{Rel: 0, Column: "a1"},
+			Right: query.ColRef{Rel: 1, Column: "id"},
+		}},
+		Filters: []query.Filter{{
+			Col: query.ColRef{Rel: 0, Column: "a2"}, Op: query.Between, Value: 1, Value2: 1000,
+		}},
+		Select:  []query.ColRef{{Rel: 0, Column: "id"}, {Rel: 1, Column: "a2"}},
+		OrderBy: []query.ColRef{{Rel: 1, Column: orderCol}},
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// roundTrip pushes a cache through the full persistence pipeline —
+// FromCache → Encode → Decode → ToCache — and returns the reloaded slim
+// cache over a fresh analysis of the same query.
+func roundTrip(t *testing.T, c *inum.Cache, st *stats.Store) *inum.Cache {
+	t.Helper()
+	snap := &Snapshot{Queries: []QueryPlans{FromCache(c)}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := optimizer.NewAnalysis(c.Q, st, optimizer.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ToCache(a, dec.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// planIndex locates a returned plan within its cache.
+func planIndex(c *inum.Cache, cp *inum.CachedPlan) int {
+	for i, p := range c.Plans {
+		if p == cp {
+			return i
+		}
+	}
+	return -1
+}
+
+// assertCacheEquivalent prices both caches under the configurations and
+// requires exact cost bits, identical winning-plan positions, and
+// bit-equal BaseLeafCosts snapshots per plan.
+func assertCacheEquivalent(t *testing.T, label string, tree, other *inum.Cache, cfgs []*query.Config) {
+	t.Helper()
+	if len(tree.Plans) != len(other.Plans) {
+		t.Fatalf("%s: %d tree plans vs %d", label, len(tree.Plans), len(other.Plans))
+	}
+	for i := range tree.Plans {
+		tp, op := tree.Plans[i], other.Plans[i]
+		if math.Float64bits(tp.Internal) != math.Float64bits(op.Internal) {
+			t.Fatalf("%s plan %d: internal bits differ", label, i)
+		}
+		if tp.NLJ != op.NLJ || tp.Combo.Key() != op.Combo.Key() {
+			t.Fatalf("%s plan %d: combo/NLJ differ: %v/%v vs %v/%v",
+				label, i, tp.Combo, tp.NLJ, op.Combo, op.NLJ)
+		}
+		for rel := range tp.Leaves {
+			if tp.Leaves[rel] != op.Leaves[rel] {
+				t.Fatalf("%s plan %d leaf %d: %+v vs %+v", label, i, rel, tp.Leaves[rel], op.Leaves[rel])
+			}
+		}
+		tb, ob := tree.BaseLeafCosts(tp), other.BaseLeafCosts(op)
+		for rel := range tb {
+			if math.Float64bits(tb[rel]) != math.Float64bits(ob[rel]) {
+				t.Fatalf("%s plan %d: BaseLeafCosts[%d] bits differ: %v vs %v", label, i, rel, tb[rel], ob[rel])
+			}
+		}
+	}
+	for ci, cfg := range cfgs {
+		tc, tp, terr := tree.Cost(cfg)
+		oc, op, oerr := other.Cost(cfg)
+		if (terr == nil) != (oerr == nil) {
+			t.Fatalf("%s cfg %d: error mismatch: %v vs %v", label, ci, terr, oerr)
+		}
+		if terr != nil {
+			continue
+		}
+		if math.Float64bits(tc) != math.Float64bits(oc) {
+			t.Fatalf("%s cfg %d: cost bits differ: %v vs %v", label, ci, tc, oc)
+		}
+		if planIndex(tree, tp) != planIndex(other, op) {
+			t.Fatalf("%s cfg %d: winning plan %d vs %d", label, ci,
+				planIndex(tree, tp), planIndex(other, op))
+		}
+	}
+}
+
+// TestSlimTreeCostEquivalence pins the tentpole guarantee on the star
+// workload plus self-joins: a slim build and a snapshot-roundtripped load
+// answer Cost and BaseLeafCosts bit-identically to the tree-backed cache.
+func TestSlimTreeCostEquivalence(t *testing.T) {
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = append(qs, selfJoinQuery(t, s, "SJ-a", "a2"), selfJoinQuery(t, s, "SJ-b", "a3"))
+	rng := rand.New(rand.NewSource(99))
+	for _, q := range qs {
+		a1, err := optimizer.NewAnalysis(q, s.Stats, optimizer.DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := optimizer.NewAnalysis(q, s.Stats, optimizer.DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := core.Build(a1, whatif.NewSession(s.Catalog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slim, err := core.BuildSlim(a2, whatif.NewSession(s.Catalog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded := roundTrip(t, slim, s.Stats)
+
+		for i, cp := range slim.Plans {
+			if cp.Path != nil || cp.Sig != "" {
+				t.Fatalf("%s: slim plan %d retained a path/signature", q.Name, i)
+			}
+		}
+
+		ws := whatif.NewSession(s.Catalog)
+		cfgs := []*query.Config{{}}
+		for i := 0; i < 25; i++ {
+			cfg, err := workload.RandomAtomicConfig(rng, a1, ws, 0.8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs = append(cfgs, cfg)
+		}
+		assertCacheEquivalent(t, q.Name+" slim", tree, slim, cfgs)
+		assertCacheEquivalent(t, q.Name+" loaded", tree, loaded, cfgs)
+	}
+}
+
+// TestSlimTreeShapeEquivalence re-pins the guarantee across every join
+// topology the shape generator produces.
+func TestSlimTreeShapeEquivalence(t *testing.T) {
+	specs := []workload.ShapeSpec{
+		{Shape: workload.ShapeChain, Rels: 4, Seed: 5},
+		{Shape: workload.ShapeChain, Rels: 7, Seed: 5},
+		{Shape: workload.ShapeCycle, Rels: 6, Seed: 5},
+		{Shape: workload.ShapeSnowflake, Rels: 7, Seed: 5},
+		{Shape: workload.ShapeStar, Rels: 6, Seed: 5},
+		{Shape: workload.ShapeClique, Rels: 5, Seed: 5},
+		{Shape: workload.ShapeRandom, Rels: 6, Density: 0.4, Seed: 5},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, spec := range specs {
+		cat, q, err := workload.ShapeQuery(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("%s/%d", spec.Shape, spec.Rels)
+		a1, err := optimizer.NewAnalysis(q, nil, optimizer.DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := optimizer.NewAnalysis(q, nil, optimizer.DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := core.Build(a1, whatif.NewSession(cat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slim, err := core.BuildSlim(a2, whatif.NewSession(cat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded := roundTrip(t, slim, nil)
+		cfgs := workload.ShapeConfigs(rng, cat, q, 10)
+		cfgs = append(cfgs, &query.Config{})
+		assertCacheEquivalent(t, label+" slim", tree, slim, cfgs)
+		assertCacheEquivalent(t, label+" loaded", tree, loaded, cfgs)
+
+		// The memory the slim cache gives back is the tentpole's point:
+		// no retained path nodes at all, and a multiple fewer bytes on
+		// the wider queries.
+		tm, sm := tree.Stats.Mem, slim.Stats.Mem
+		if sm.RetainedPathNodes != 0 || sm.PathBytes != 0 {
+			t.Fatalf("%s: slim cache retained %d path nodes / %d bytes", label, sm.RetainedPathNodes, sm.PathBytes)
+		}
+		if tm.RetainedPathNodes == 0 {
+			t.Fatalf("%s: tree cache reports no retained path nodes", label)
+		}
+		if len(q.Rels) >= 5 && tm.TotalBytes() < 3*sm.TotalBytes() {
+			t.Errorf("%s: tree cache %d bytes is under 3x the slim cache's %d", label, tm.TotalBytes(), sm.TotalBytes())
+		}
+	}
+}
+
+// TestAdvisorSlimTreeEquivalence runs the full greedy search over slim
+// and snapshot-roundtripped caches and requires results identical to the
+// tree-backed advisor's Run and RunReference.
+func TestAdvisorSlimTreeEquivalence(t *testing.T) {
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = append(qs[:6], selfJoinQuery(t, s, "SJ-a", "a2"), selfJoinQuery(t, s, "SJ-b", "a3"))
+	weights := make([]float64, len(qs))
+	for i := range weights {
+		weights[i] = float64(1 + i%3)
+	}
+
+	// Tree-backed ground truth: the normal AddQueries path.
+	adTree := advisor.New(s.Catalog, s.Stats, storage.BytesForGB(4))
+	if err := adTree.AddQueries(qs, weights); err != nil {
+		t.Fatal(err)
+	}
+	want, err := adTree.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRef, err := adTree.RunReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buildSlimCaches := func() ([]*optimizer.Analysis, []*inum.Cache) {
+		analyses := make([]*optimizer.Analysis, len(qs))
+		caches := make([]*inum.Cache, len(qs))
+		for i, q := range qs {
+			a, err := optimizer.NewAnalysis(q, s.Stats, optimizer.DefaultCostParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := core.BuildSlim(a, whatif.NewSession(s.Catalog))
+			if err != nil {
+				t.Fatal(err)
+			}
+			analyses[i], caches[i] = a, c
+		}
+		return analyses, caches
+	}
+
+	runOver := func(label string, analyses []*optimizer.Analysis, caches []*inum.Cache) *advisor.Result {
+		ad := advisor.New(s.Catalog, s.Stats, storage.BytesForGB(4))
+		for i, q := range qs {
+			if err := ad.AddPrepared(q, analyses[i], caches[i], weights[i]); err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+		}
+		res, err := ad.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return res
+	}
+
+	assertSame := func(label string, got *advisor.Result) {
+		t.Helper()
+		if len(got.Chosen) != len(want.Chosen) {
+			t.Fatalf("%s: %d picks vs %d", label, len(got.Chosen), len(want.Chosen))
+		}
+		for i := range got.Chosen {
+			if got.Chosen[i].Key() != want.Chosen[i].Key() {
+				t.Fatalf("%s pick %d: %s vs %s", label, i, got.Chosen[i].Key(), want.Chosen[i].Key())
+			}
+		}
+		if math.Float64bits(got.BaseCost) != math.Float64bits(want.BaseCost) ||
+			math.Float64bits(got.FinalCost) != math.Float64bits(want.FinalCost) {
+			t.Fatalf("%s: base/final cost bits differ: %v/%v vs %v/%v",
+				label, got.BaseCost, got.FinalCost, want.BaseCost, want.FinalCost)
+		}
+		for name, w := range want.PerQuery {
+			g := got.PerQuery[name]
+			if math.Float64bits(g[0]) != math.Float64bits(w[0]) ||
+				math.Float64bits(g[1]) != math.Float64bits(w[1]) {
+				t.Fatalf("%s %s: per-query bits differ: %v vs %v", label, name, g, w)
+			}
+		}
+		if got.Rounds != want.Rounds || got.TotalBytes != want.TotalBytes {
+			t.Fatalf("%s: rounds/bytes differ: %d/%d vs %d/%d",
+				label, got.Rounds, got.TotalBytes, want.Rounds, want.TotalBytes)
+		}
+	}
+
+	// Run vs RunReference on the tree path first (sanity that the oracle
+	// holds on this workload), then slim and loaded against it.
+	assertSame("tree reference", wantRef)
+
+	analyses, slims := buildSlimCaches()
+	assertSame("slim", runOver("slim", analyses, slims))
+
+	loaded := make([]*inum.Cache, len(slims))
+	for i, c := range slims {
+		loaded[i] = roundTrip(t, c, s.Stats)
+	}
+	assertSame("loaded", runOver("loaded", analyses, loaded))
+}
+
+// TestAddPathAfterSeal pins the sealed-cache contract: AddPath on a
+// sealed (slim-built or snapshot-loaded) cache appends without
+// deduplication instead of panicking on the dropped dedup map.
+func TestAddPathAfterSeal(t *testing.T) {
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0]
+	a, err := optimizer.NewAnalysis(q, s.Stats, optimizer.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := core.Build(a, whatif.NewSession(s.Catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slim, err := core.BuildSlim(a, whatif.NewSession(s.Catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(slim.Plans)
+	p := tree.Plans[0].Path
+	if p == nil {
+		t.Fatal("tree cache entry lost its path")
+	}
+	if !slim.AddPath(p) {
+		t.Fatal("sealed AddPath reported a duplicate")
+	}
+	if len(slim.Plans) != n+1 {
+		t.Fatalf("sealed AddPath appended %d plans, want 1", len(slim.Plans)-n)
+	}
+}

@@ -1,0 +1,592 @@
+// Package plancache implements the persistent plan-cache store: a slim,
+// versioned snapshot of one or more PINUM plan caches that a long-lived
+// process can write once and load on every start instead of re-invoking
+// the optimizer.
+//
+// A snapshot stores, per query, exactly what the cached cost model
+// (inum.Cache.Cost) consumes — each plan's internal cost and per-relation
+// leaf requirements (mode, column, coefficient) — and nothing the planner
+// retained along the way: no path trees, no signatures. Loading a
+// snapshot therefore reconstructs a slim cache whose Cost and
+// BaseLeafCosts results are bit-identical to the cache that was saved
+// (float64 payloads round-trip as raw IEEE-754 bits, and entry order is
+// preserved), at a fraction of the memory.
+//
+// Snapshots are fingerprinted against the catalog, statistics and cost
+// parameters they were built under. The stored internal costs and leaf
+// coefficients are only meaningful for the schema and statistics the
+// optimizer saw at build time, so Decode callers must compare the
+// snapshot's fingerprint against the serving environment's — a stale
+// snapshot is rejected with an error instead of silently mis-costing
+// every what-if question. The binary encoding is deterministic
+// (encode→decode→re-encode is byte-identical) and checksummed, so a
+// truncated or corrupted file fails loudly too.
+package plancache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/inum"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/stats"
+)
+
+// Entry is one slim cached plan: the INUM decomposition without the tree.
+type Entry struct {
+	// Internal is the access-method-independent plan cost.
+	Internal float64
+	// Leaves holds one access requirement per query relation.
+	Leaves []optimizer.LeafReq
+}
+
+// QueryPlans is the slim plan cache of one query.
+type QueryPlans struct {
+	// Name identifies the query (matched against the workload at load).
+	Name string
+	// SQL is the query text, kept so a loaded snapshot can be audited and
+	// so load can verify it still matches the workload's query.
+	SQL string
+	// NRels is the query's relation count; every entry's Leaves has
+	// exactly this length.
+	NRels int
+	// Entries holds the cached plans in cache order (Cost scans them in
+	// order with strict improvement, so order is part of bit-identity).
+	Entries []Entry
+}
+
+// Snapshot is a persistable set of plan caches plus the fingerprint of
+// the environment they were built under.
+type Snapshot struct {
+	// Fingerprint identifies the (catalog, statistics, cost parameters)
+	// the caches were built against.
+	Fingerprint uint64
+	// Queries holds one slim cache per workload query, in workload order.
+	Queries []QueryPlans
+}
+
+// FromCache extracts a query's slim plan representation from a built
+// cache (tree-backed or already slim — only the decomposition is read).
+func FromCache(c *inum.Cache) QueryPlans {
+	qp := QueryPlans{
+		Name:    c.Q.Name,
+		SQL:     c.Q.SQL,
+		NRels:   len(c.Q.Rels),
+		Entries: make([]Entry, len(c.Plans)),
+	}
+	for i, cp := range c.Plans {
+		qp.Entries[i] = Entry{Internal: cp.Internal, Leaves: cp.Leaves}
+	}
+	return qp
+}
+
+// ToCache reconstructs a slim cache over the analysed query from its
+// stored plans. The analysis must describe the same query the snapshot
+// was built from (same relation count; the caller matches names); entry
+// order, internal-cost bits and leaf requirements are restored exactly,
+// so Cost and BaseLeafCosts answers match the original cache bit for bit.
+func ToCache(a *optimizer.Analysis, qp QueryPlans) (*inum.Cache, error) {
+	if len(a.Q.Rels) != qp.NRels {
+		return nil, fmt.Errorf("plancache: query %s has %d relations, snapshot stored %d",
+			a.Q.Name, len(a.Q.Rels), qp.NRels)
+	}
+	c := inum.NewSlimCache(a)
+	for _, e := range qp.Entries {
+		if len(e.Leaves) != qp.NRels {
+			return nil, fmt.Errorf("plancache: query %s: entry with %d leaves for %d relations",
+				qp.Name, len(e.Leaves), qp.NRels)
+		}
+		c.AddSlim(e.Internal, e.Leaves)
+	}
+	c.Seal()
+	c.Stats.Mem = c.MemStats()
+	return c, nil
+}
+
+// Fingerprint hashes everything the stored costs depend on: every catalog
+// table (row counts, pages, columns with widths/NDVs/domains, foreign
+// keys) in registration order, the statistics attached to each of its
+// columns, and the cost-model parameters. Two environments with equal
+// fingerprints cost plans identically, so a snapshot built under one is
+// exact under the other; any schema, statistics or parameter drift
+// changes the fingerprint and gets the snapshot rejected at load.
+func Fingerprint(cat *catalog.Catalog, st *stats.Store, params optimizer.CostParams) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	wi := func(v int64) { wu(uint64(v)) }
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		io.WriteString(h, s)
+	}
+	ws("pinum-plancache-fp-v1")
+	wf(params.SeqPageCost)
+	wf(params.RandomPageCost)
+	wf(params.CPUTupleCost)
+	wf(params.CPUIndexTupleCost)
+	wf(params.CPUOperatorCost)
+	for _, t := range cat.Tables() {
+		ws(t.Name)
+		wi(t.RowCount)
+		wi(t.Pages)
+		for _, col := range t.Columns {
+			ws(col.Name)
+			wi(int64(col.Type))
+			wi(int64(col.AvgWidth))
+			wi(col.NDV)
+			wi(col.Min)
+			wi(col.Max)
+			if col.NotNull {
+				wu(1)
+			} else {
+				wu(0)
+			}
+			if st == nil {
+				continue
+			}
+			cs := st.Get(t.Name, col.Name)
+			if cs == nil {
+				continue
+			}
+			ws("stats")
+			wi(cs.Rows)
+			wi(cs.Distinct)
+			wi(cs.Min)
+			wi(cs.Max)
+			if cs.Hist != nil {
+				wi(cs.Hist.Rows)
+				wi(cs.Hist.Distinct)
+				for _, b := range cs.Hist.Bounds {
+					wi(b)
+				}
+			}
+		}
+		for _, fk := range t.ForeignKeys {
+			ws(fk.Column)
+			ws(fk.RefTable)
+			ws(fk.RefColumn)
+		}
+	}
+	return h.Sum64()
+}
+
+// ------------------------------------------------------------- codec ----
+
+// magic identifies the format; its last byte is the version.
+var magic = [8]byte{'P', 'I', 'N', 'U', 'M', 'P', 'C', 1}
+
+// Decode sanity caps: a snapshot exceeding any of these is rejected as
+// corrupt rather than allocated for.
+const (
+	maxQueries = 1 << 20
+	maxRels    = 64
+	maxEntries = 1 << 24
+	maxStrLen  = 1 << 20
+)
+
+// hashWriter tees every written byte into a running FNV-1a checksum.
+type hashWriter struct {
+	w   io.Writer
+	sum uint64
+	err error
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (hw *hashWriter) write(p []byte) {
+	if hw.err != nil {
+		return
+	}
+	for _, b := range p {
+		hw.sum = (hw.sum ^ uint64(b)) * fnvPrime
+	}
+	_, hw.err = hw.w.Write(p)
+}
+
+func (hw *hashWriter) u8(v uint8) { hw.write([]byte{v}) }
+
+func (hw *hashWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	hw.write(b[:])
+}
+
+func (hw *hashWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	hw.write(b[:])
+}
+
+func (hw *hashWriter) str(s string) {
+	hw.u32(uint32(len(s)))
+	hw.write([]byte(s))
+}
+
+// Encode writes the snapshot in the deterministic v1 binary format:
+// little-endian fixed-width integers, float64s as raw IEEE-754 bits, and
+// a per-query column-name pool in first-use order, closed by an FNV-1a
+// checksum over everything before it. The same snapshot always encodes
+// to the same bytes, so encode→decode→re-encode is byte-identical.
+func Encode(w io.Writer, s *Snapshot) error {
+	hw := &hashWriter{w: w, sum: fnvOffset}
+	hw.write(magic[:])
+	hw.u64(s.Fingerprint)
+	hw.u32(uint32(len(s.Queries)))
+	for _, qp := range s.Queries {
+		if err := encodeQuery(hw, &qp); err != nil {
+			return err
+		}
+	}
+	if hw.err != nil {
+		return hw.err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], hw.sum)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func encodeQuery(hw *hashWriter, qp *QueryPlans) error {
+	if qp.NRels <= 0 || qp.NRels > maxRels {
+		return fmt.Errorf("plancache: query %s: bad relation count %d", qp.Name, qp.NRels)
+	}
+	hw.str(qp.Name)
+	hw.str(qp.SQL)
+	hw.u32(uint32(qp.NRels))
+
+	// Column pool in first-use order across the entries, so the encoding
+	// is a pure function of the plan list.
+	poolIdx := make(map[string]uint32)
+	var pool []string
+	for _, e := range qp.Entries {
+		for _, req := range e.Leaves {
+			if req.Col == "" {
+				continue
+			}
+			if _, ok := poolIdx[req.Col]; !ok {
+				poolIdx[req.Col] = uint32(len(pool))
+				pool = append(pool, req.Col)
+			}
+		}
+	}
+	hw.u32(uint32(len(pool)))
+	for _, col := range pool {
+		hw.str(col)
+	}
+
+	hw.u32(uint32(len(qp.Entries)))
+	for _, e := range qp.Entries {
+		if len(e.Leaves) != qp.NRels {
+			return fmt.Errorf("plancache: query %s: entry with %d leaves for %d relations",
+				qp.Name, len(e.Leaves), qp.NRels)
+		}
+		hw.u64(math.Float64bits(e.Internal))
+		for _, req := range e.Leaves {
+			if req.Mode < optimizer.AccessAny || req.Mode > optimizer.AccessLookup {
+				return fmt.Errorf("plancache: query %s: invalid access mode %d", qp.Name, req.Mode)
+			}
+			hw.u8(uint8(req.Mode))
+			if req.Col == "" {
+				hw.u32(0)
+			} else {
+				hw.u32(poolIdx[req.Col] + 1)
+			}
+			hw.u64(math.Float64bits(req.Coef))
+		}
+	}
+	return hw.err
+}
+
+// reader decodes the byte stream with bounds checking and the same
+// running checksum the encoder produced.
+type reader struct {
+	buf []byte
+	off int
+	sum uint64
+}
+
+// canHold rejects a count field whose minimally-encoded payload could
+// not fit in the remaining bytes, so a corrupted count is refused before
+// anything is allocated for it (a crafted small file must not provoke a
+// huge allocation just to fail the checksum later).
+func (r *reader) canHold(count uint32, minItemBytes int) bool {
+	return int64(count)*int64(minItemBytes) <= int64(len(r.buf)-r.off)
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, fmt.Errorf("plancache: snapshot truncated at byte %d", r.off)
+	}
+	p := r.buf[r.off : r.off+n]
+	r.off += n
+	for _, b := range p {
+		r.sum = (r.sum ^ uint64(b)) * fnvPrime
+	}
+	return p, nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	p, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return p[0], nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	p, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	p, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStrLen {
+		return "", fmt.Errorf("plancache: implausible string length %d", n)
+	}
+	p, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// Decode reads a v1 snapshot, verifying the magic, version, structural
+// bounds and trailing checksum. It does NOT verify the fingerprint —
+// callers must compare Snapshot.Fingerprint against their environment's
+// (see Fingerprint) before trusting any stored cost.
+func Decode(data []byte) (*Snapshot, error) {
+	r := &reader{buf: data, sum: fnvOffset}
+	head, err := r.take(8)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 7; i++ {
+		if head[i] != magic[i] {
+			return nil, fmt.Errorf("plancache: not a plan-cache snapshot (bad magic)")
+		}
+	}
+	if head[7] != magic[7] {
+		return nil, fmt.Errorf("plancache: unsupported snapshot version %d (want %d)", head[7], magic[7])
+	}
+	s := &Snapshot{}
+	if s.Fingerprint, err = r.u64(); err != nil {
+		return nil, err
+	}
+	nq, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each query needs at least its three header fields plus two counts.
+	if nq > maxQueries || !r.canHold(nq, 20) {
+		return nil, fmt.Errorf("plancache: implausible query count %d", nq)
+	}
+	s.Queries = make([]QueryPlans, nq)
+	for i := range s.Queries {
+		if err := decodeQuery(r, &s.Queries[i]); err != nil {
+			return nil, err
+		}
+	}
+	want := r.sum
+	got, err := r.u64() // the stored checksum is not part of itself
+	if err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, fmt.Errorf("plancache: checksum mismatch (stored %016x, computed %016x): snapshot corrupted", got, want)
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("plancache: %d trailing bytes after snapshot", len(r.buf)-r.off)
+	}
+	return s, nil
+}
+
+func decodeQuery(r *reader, qp *QueryPlans) error {
+	var err error
+	if qp.Name, err = r.str(); err != nil {
+		return err
+	}
+	if qp.SQL, err = r.str(); err != nil {
+		return err
+	}
+	nRels, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if nRels == 0 || nRels > maxRels {
+		return fmt.Errorf("plancache: query %s: bad relation count %d", qp.Name, nRels)
+	}
+	qp.NRels = int(nRels)
+
+	nPool, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if nPool > maxEntries || !r.canHold(nPool, 4) {
+		return fmt.Errorf("plancache: query %s: implausible column pool size %d", qp.Name, nPool)
+	}
+	pool := make([]string, nPool)
+	for i := range pool {
+		if pool[i], err = r.str(); err != nil {
+			return err
+		}
+	}
+
+	nEntries, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if nEntries > maxEntries || !r.canHold(nEntries, 8+13*qp.NRels) {
+		return fmt.Errorf("plancache: query %s: implausible entry count %d", qp.Name, nEntries)
+	}
+	qp.Entries = make([]Entry, nEntries)
+	for i := range qp.Entries {
+		e := &qp.Entries[i]
+		bits, err := r.u64()
+		if err != nil {
+			return err
+		}
+		e.Internal = math.Float64frombits(bits)
+		e.Leaves = make([]optimizer.LeafReq, qp.NRels)
+		for rel := range e.Leaves {
+			mode, err := r.u8()
+			if err != nil {
+				return err
+			}
+			if mode > uint8(optimizer.AccessLookup) {
+				return fmt.Errorf("plancache: query %s: invalid access mode %d", qp.Name, mode)
+			}
+			colRef, err := r.u32()
+			if err != nil {
+				return err
+			}
+			col := ""
+			if colRef > 0 {
+				if int(colRef) > len(pool) {
+					return fmt.Errorf("plancache: query %s: column reference %d outside pool of %d", qp.Name, colRef, len(pool))
+				}
+				col = pool[colRef-1]
+			}
+			coefBits, err := r.u64()
+			if err != nil {
+				return err
+			}
+			e.Leaves[rel] = optimizer.LeafReq{
+				Mode: optimizer.AccessMode(mode),
+				Col:  col,
+				Coef: math.Float64frombits(coefBits),
+			}
+		}
+	}
+	return nil
+}
+
+// BuildCaches matches snapshot queries to the workload by name,
+// verifying the stored SQL still equals the workload's, and reconstructs
+// one slim cache per query (aligned with queries/analyses). Both the
+// public LoadCaches facade and the serving layer's startup go through
+// this one matcher, so their validation cannot drift apart.
+func BuildCaches(snap *Snapshot, queries []*query.Query, analyses []*optimizer.Analysis) ([]*inum.Cache, error) {
+	byName := make(map[string]*QueryPlans, len(snap.Queries))
+	for i := range snap.Queries {
+		byName[snap.Queries[i].Name] = &snap.Queries[i]
+	}
+	caches := make([]*inum.Cache, len(queries))
+	for i, q := range queries {
+		qp := byName[q.Name]
+		if qp == nil {
+			return nil, fmt.Errorf("plancache: snapshot has no plans for query %s", q.Name)
+		}
+		if qp.SQL != q.SQL {
+			return nil, fmt.Errorf("plancache: snapshot stored different SQL for query %s: rebuild the snapshot", q.Name)
+		}
+		c, err := ToCache(analyses[i], *qp)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = c
+	}
+	return caches, nil
+}
+
+// ------------------------------------------------------------- files ----
+
+// Save encodes the snapshot and writes it atomically: encode in memory,
+// write a temp file beside the target, then rename over it. A crash
+// mid-save or a concurrent reader therefore sees either the old complete
+// snapshot or the new one, never a torn file.
+func Save(path string, s *Snapshot) error {
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Load reads, decodes and fingerprint-checks a snapshot: want must be the
+// loading environment's Fingerprint, and a mismatch — schema, statistics
+// or cost parameters drifted since the snapshot was built — is an error.
+func Load(path string, want uint64) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if s.Fingerprint != want {
+		return nil, fmt.Errorf("plancache: snapshot %s was built for a different environment (fingerprint %016x, current %016x): rebuild the snapshot",
+			path, s.Fingerprint, want)
+	}
+	return s, nil
+}

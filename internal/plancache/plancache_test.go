@@ -1,0 +1,173 @@
+package plancache
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/whatif"
+	"github.com/pinumdb/pinum/internal/workload"
+)
+
+// starSnapshot builds slim caches for the star workload and packages them
+// into a snapshot.
+func starSnapshot(t *testing.T, seed int64) (*workload.Star, *Snapshot) {
+	t.Helper()
+	s, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.Queries(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Fingerprint: Fingerprint(s.Catalog, s.Stats, optimizer.DefaultCostParams())}
+	for _, q := range qs {
+		a, err := optimizer.NewAnalysis(q, s.Stats, optimizer.DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.BuildSlim(a, whatif.NewSession(s.Catalog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.Queries = append(snap.Queries, FromCache(c))
+	}
+	return s, snap
+}
+
+func encodeToBytes(t *testing.T, snap *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTripByteIdentical pins the codec's determinism: encoding,
+// decoding and re-encoding a snapshot yields the same bytes, and the
+// decoded structures carry identical float bits.
+func TestRoundTripByteIdentical(t *testing.T) {
+	_, snap := starSnapshot(t, 42)
+	data := encodeToBytes(t, snap)
+
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Fingerprint != snap.Fingerprint {
+		t.Fatalf("fingerprint changed across the codec: %x -> %x", snap.Fingerprint, dec.Fingerprint)
+	}
+	if len(dec.Queries) != len(snap.Queries) {
+		t.Fatalf("query count changed: %d -> %d", len(snap.Queries), len(dec.Queries))
+	}
+	for i, qp := range dec.Queries {
+		orig := snap.Queries[i]
+		if qp.Name != orig.Name || qp.SQL != orig.SQL || qp.NRels != orig.NRels {
+			t.Fatalf("query %d header changed: %+v vs %+v", i, qp, orig)
+		}
+		if len(qp.Entries) != len(orig.Entries) {
+			t.Fatalf("query %s entry count changed: %d -> %d", qp.Name, len(orig.Entries), len(qp.Entries))
+		}
+		for j, e := range qp.Entries {
+			oe := orig.Entries[j]
+			if math.Float64bits(e.Internal) != math.Float64bits(oe.Internal) {
+				t.Fatalf("%s entry %d internal bits changed", qp.Name, j)
+			}
+			for rel := range e.Leaves {
+				if e.Leaves[rel].Mode != oe.Leaves[rel].Mode ||
+					e.Leaves[rel].Col != oe.Leaves[rel].Col ||
+					math.Float64bits(e.Leaves[rel].Coef) != math.Float64bits(oe.Leaves[rel].Coef) {
+					t.Fatalf("%s entry %d leaf %d changed: %+v vs %+v",
+						qp.Name, j, rel, e.Leaves[rel], oe.Leaves[rel])
+				}
+			}
+		}
+	}
+
+	re := encodeToBytes(t, dec)
+	if !bytes.Equal(data, re) {
+		t.Fatalf("re-encode is not byte-identical: %d vs %d bytes", len(data), len(re))
+	}
+}
+
+// TestDecodeRejectsCorruption flips or truncates bytes across the whole
+// snapshot and requires every mutation to be rejected (the checksum backs
+// up the structural checks).
+func TestDecodeRejectsCorruption(t *testing.T) {
+	_, snap := starSnapshot(t, 42)
+	data := encodeToBytes(t, snap)
+
+	if _, err := Decode(nil); err == nil {
+		t.Error("Decode accepted an empty snapshot")
+	}
+	if _, err := Decode(data[:len(data)-3]); err == nil {
+		t.Error("Decode accepted a truncated snapshot")
+	}
+	if _, err := Decode(append(append([]byte(nil), data...), 0xAB)); err == nil {
+		t.Error("Decode accepted trailing garbage")
+	}
+
+	bad := append([]byte(nil), data...)
+	bad[7] = 99 // version byte
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode accepted an unknown version")
+	}
+	bad = append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode accepted a bad magic")
+	}
+
+	// Flip one bit at a spread of offsets: every corruption must fail
+	// (either structurally or by checksum), never silently load.
+	for off := 8; off < len(data); off += 97 {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("Decode accepted a snapshot with byte %d flipped", off)
+		}
+	}
+}
+
+// TestLoadRejectsStaleFingerprint pins the staleness contract: a snapshot
+// built under one environment must not load under another.
+func TestLoadRejectsStaleFingerprint(t *testing.T) {
+	s, snap := starSnapshot(t, 42)
+	path := t.TempDir() + "/star.pcache"
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	fp := Fingerprint(s.Catalog, s.Stats, optimizer.DefaultCostParams())
+	if _, err := Load(path, fp); err != nil {
+		t.Fatalf("Load rejected a fresh snapshot: %v", err)
+	}
+
+	// Any drift in schema statistics or cost parameters must change the
+	// fingerprint...
+	grown := s.Catalog.Table("fact").RowCount + 1
+	old := s.Catalog.Table("fact").RowCount
+	s.Catalog.Table("fact").RowCount = grown
+	fpGrown := Fingerprint(s.Catalog, s.Stats, optimizer.DefaultCostParams())
+	s.Catalog.Table("fact").RowCount = old
+	if fpGrown == fp {
+		t.Fatal("fingerprint ignored a row-count change")
+	}
+	params := optimizer.DefaultCostParams()
+	params.RandomPageCost *= 2
+	if Fingerprint(s.Catalog, s.Stats, params) == fp {
+		t.Fatal("fingerprint ignored a cost-parameter change")
+	}
+	if Fingerprint(s.Catalog, nil, optimizer.DefaultCostParams()) == fp {
+		t.Fatal("fingerprint ignored the statistics store")
+	}
+
+	// ...and the mismatched load must fail.
+	if _, err := Load(path, fpGrown); err == nil {
+		t.Fatal("Load accepted a snapshot with a stale fingerprint")
+	}
+}

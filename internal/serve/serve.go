@@ -1,0 +1,626 @@
+// Package serve implements the concurrent what-if serving layer: an HTTP
+// server that loads (or builds) a slim plan-cache snapshot once and then
+// answers configuration questions with pure cost arithmetic — no
+// optimizer calls on any request path that the caches cover.
+//
+// Concurrency model: the plan caches, analyses, queries and catalog are
+// built at startup and never mutated afterwards; they are shared by every
+// request. inum.Cache.Cost and the leaf-cost memo behind it are safe for
+// concurrent use, so /whatif requests evaluate the shared caches directly,
+// fanning per-query evaluations over a core.Fan worker pool. Everything a
+// request does mutate is request-local: /recommend builds a fresh Advisor
+// and incremental cost engine per request (over the shared caches and the
+// startup-generated candidate set), and /explain runs a fresh optimizer
+// call. The one shared mutable structure is the what-if index interner — a
+// mutex-guarded session that resolves each requested (table, columns) spec
+// to a stable descriptor, so repeated questions about the same index hit
+// the caches' leaf memo instead of growing it. The interner (and with it
+// the leaf memo, whose entries are keyed by interned descriptors) is
+// capped: once maxInternedIndexes distinct specs have been seen, requests
+// naming yet another new index are refused with 503 instead of growing
+// server memory without bound.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pinumdb/pinum/internal/advisor"
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/inum"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/plancache"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/sql"
+	"github.com/pinumdb/pinum/internal/stats"
+	"github.com/pinumdb/pinum/internal/storage"
+	"github.com/pinumdb/pinum/internal/whatif"
+)
+
+// Config assembles a server over a prepared workload.
+type Config struct {
+	Catalog *catalog.Catalog
+	Stats   *stats.Store
+	// Queries is the served workload; Caches and Analyses are aligned
+	// with it.
+	Queries  []*query.Query
+	Analyses []*optimizer.Analysis
+	Caches   []*inum.Cache
+	// Weights are the workload frequency weights (nil = all 1).
+	Weights []float64
+	// Workers bounds the per-request evaluation pool and each
+	// /recommend run's greedy parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Server answers what-if, recommendation and explain questions over
+// shared immutable plan caches. Create with New; serve with Handler.
+type Server struct {
+	cfg     Config
+	weights []float64
+	// base holds the per-query costs under the empty configuration,
+	// computed once at startup (they are configuration-independent).
+	base      []float64
+	baseTotal float64
+
+	// ixMu guards the shared what-if index interner.
+	ixMu sync.Mutex
+	ws   *whatif.Session
+
+	// candidates is the advisor candidate set, generated once so every
+	// /recommend request prices the same stable descriptors. genErrors
+	// records candidates that failed to generate at startup — they are
+	// absent from every /recommend answer, so /healthz counts them and
+	// /statz lists them rather than leaving degraded recommendations
+	// indistinguishable from correct ones.
+	candidates []*catalog.Index
+	genErrors  []string
+
+	start   time.Time
+	metrics map[string]*endpointMetrics
+	mux     *http.ServeMux
+}
+
+// endpointMetrics are one endpoint's latency/throughput counters.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	totalNs  atomic.Int64
+	maxNs    atomic.Int64
+}
+
+// New builds the server: startup is the only place optimizer-derived
+// state is created; every request after it runs on shared immutable data
+// plus request-local scratch.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("serve: no queries")
+	}
+	if len(cfg.Caches) != len(cfg.Queries) || len(cfg.Analyses) != len(cfg.Queries) {
+		return nil, fmt.Errorf("serve: %d queries need matching caches (%d) and analyses (%d)",
+			len(cfg.Queries), len(cfg.Caches), len(cfg.Analyses))
+	}
+	s := &Server{
+		cfg:   cfg,
+		ws:    whatif.NewSession(cfg.Catalog),
+		start: time.Now(),
+		mux:   http.NewServeMux(),
+	}
+	s.weights = make([]float64, len(cfg.Queries))
+	for i := range s.weights {
+		w := 1.0
+		if i < len(cfg.Weights) && cfg.Weights[i] > 0 {
+			w = cfg.Weights[i]
+		}
+		s.weights[i] = w
+	}
+	s.base = make([]float64, len(cfg.Caches))
+	for i, c := range cfg.Caches {
+		cost, _, err := c.Cost(&query.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("serve: base cost for %s: %w", cfg.Queries[i].Name, err)
+		}
+		s.base[i] = cost
+		s.baseTotal += s.weights[i] * cost
+	}
+
+	// Generate the candidate set once through a throwaway advisor so
+	// /recommend requests share descriptors (and the caches' leaf memo
+	// stays bounded by the candidate count, not the request count).
+	gen := advisor.New(cfg.Catalog, cfg.Stats, 0)
+	for i, q := range cfg.Queries {
+		if err := gen.AddPrepared(q, cfg.Analyses[i], cfg.Caches[i], s.weights[i]); err != nil {
+			return nil, err
+		}
+	}
+	gen.GenerateCandidates()
+	s.candidates = gen.Candidates()
+	for _, err := range gen.GenerationErrors() {
+		s.genErrors = append(s.genErrors, err.Error())
+	}
+
+	s.metrics = map[string]*endpointMetrics{
+		"/whatif":    {},
+		"/recommend": {},
+		"/explain":   {},
+		"/healthz":   {},
+		"/statz":     {},
+	}
+	s.mux.HandleFunc("/whatif", s.instrument("/whatif", http.MethodPost, s.handleWhatIf))
+	s.mux.HandleFunc("/recommend", s.instrument("/recommend", http.MethodPost, s.handleRecommend))
+	s.mux.HandleFunc("/explain", s.instrument("/explain", http.MethodPost, s.handleExplain))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", http.MethodGet, s.handleHealth))
+	s.mux.HandleFunc("/statz", s.instrument("/statz", http.MethodGet, s.handleStatz))
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// httpError carries a status code out of a handler.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// instrument wraps a handler with method filtering, JSON error rendering
+// and the endpoint's latency/throughput counters.
+func (s *Server) instrument(name, method string, fn func(*http.Request) (any, error)) http.HandlerFunc {
+	m := s.metrics[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.requests.Add(1)
+		var (
+			resp any
+			err  error
+		)
+		if r.Method != method {
+			err = &httpError{code: http.StatusMethodNotAllowed, err: fmt.Errorf("%s requires %s", name, method)}
+		} else {
+			resp, err = fn(r)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			m.errors.Add(1)
+			code := http.StatusInternalServerError
+			if he, ok := err.(*httpError); ok {
+				code = he.code
+			}
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		} else {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(resp)
+		}
+		ns := time.Since(start).Nanoseconds()
+		m.totalNs.Add(ns)
+		for {
+			cur := m.maxNs.Load()
+			if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
+				break
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------- whatif ----
+
+// IndexSpec names one hypothetical index in a request.
+type IndexSpec struct {
+	Table   string   `json:"table"`
+	Columns []string `json:"columns"`
+}
+
+// WhatIfRequest prices the workload under a configuration.
+type WhatIfRequest struct {
+	Indexes []IndexSpec `json:"indexes"`
+}
+
+// QueryCost is one query's answer.
+type QueryCost struct {
+	Name string  `json:"name"`
+	Base float64 `json:"base"`
+	Cost float64 `json:"cost"`
+}
+
+// WhatIfResponse reports per-query and weighted workload costs.
+type WhatIfResponse struct {
+	Total     float64     `json:"total"`
+	BaseTotal float64     `json:"base_total"`
+	Speedup   float64     `json:"speedup"`
+	Queries   []QueryCost `json:"queries"`
+}
+
+// maxInternedIndexes caps the shared interner (and therefore the leaf
+// memos keyed by its descriptors): a client enumerating the factorially
+// many valid column permutations must hit a wall, not the OOM killer.
+const maxInternedIndexes = 1 << 17
+
+// resolveConfig interns the requested index specs into a configuration.
+// The shared session deduplicates by (table, columns), so the descriptor
+// a repeated spec resolves to is pointer-stable across requests and the
+// caches' leaf memo serves it without recomputation. At the interner cap,
+// previously-seen specs still resolve; new ones are refused.
+func (s *Server) resolveConfig(specs []IndexSpec) (*query.Config, error) {
+	cfg := &query.Config{}
+	s.ixMu.Lock()
+	defer s.ixMu.Unlock()
+	for _, spec := range specs {
+		ix := s.ws.Lookup(spec.Table, spec.Columns...)
+		if ix == nil {
+			if s.ws.Count() >= maxInternedIndexes {
+				return nil, &httpError{
+					code: http.StatusServiceUnavailable,
+					err: fmt.Errorf("what-if index interner is full (%d distinct indexes); restart the server to clear it",
+						maxInternedIndexes),
+				}
+			}
+			var err error
+			if ix, err = s.ws.CreateIndex(spec.Table, spec.Columns...); err != nil {
+				return nil, badRequest("%v", err)
+			}
+		}
+		cfg.Indexes = append(cfg.Indexes, ix)
+	}
+	return cfg, nil
+}
+
+// WhatIf prices the workload under the given configuration: per-query
+// cache lookups fan over the worker pool, and the weighted total is
+// summed in workload order — the same arithmetic, in the same order, as
+// the in-process advisor's workload costing, so results agree bit for
+// bit.
+func (s *Server) WhatIf(req *WhatIfRequest) (*WhatIfResponse, error) {
+	cfg, err := s.resolveConfig(req.Indexes)
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.cfg.Caches)
+	costs := make([]float64, n)
+	errs := make([]error, n)
+	core.Fan(n, s.cfg.Workers, func() func(int) {
+		return func(i int) {
+			costs[i], _, errs[i] = s.cfg.Caches[i].Cost(cfg)
+		}
+	})
+	resp := &WhatIfResponse{BaseTotal: s.baseTotal, Queries: make([]QueryCost, n)}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("pricing %s: %w", s.cfg.Queries[i].Name, errs[i])
+		}
+		resp.Queries[i] = QueryCost{Name: s.cfg.Queries[i].Name, Base: s.base[i], Cost: costs[i]}
+		resp.Total += s.weights[i] * costs[i]
+	}
+	if resp.BaseTotal > 0 {
+		resp.Speedup = math.Max(0, 1-resp.Total/resp.BaseTotal)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleWhatIf(r *http.Request) (any, error) {
+	var req WhatIfRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	return s.WhatIf(&req)
+}
+
+// -------------------------------------------------------- recommend ----
+
+// RecommendRequest runs the index advisor under a space budget.
+type RecommendRequest struct {
+	BudgetGB   float64 `json:"budget_gb"`
+	MaxIndexes int     `json:"max_indexes"`
+}
+
+// RecommendResponse reports the advisor's suggestion.
+type RecommendResponse struct {
+	Chosen     []string    `json:"chosen"`
+	TotalBytes int64       `json:"total_bytes"`
+	BaseCost   float64     `json:"base_cost"`
+	FinalCost  float64     `json:"final_cost"`
+	Speedup    float64     `json:"speedup"`
+	Rounds     int         `json:"rounds"`
+	Candidates int         `json:"candidates"`
+	Queries    []QueryCost `json:"queries"`
+	Engine     EngineStats `json:"engine"`
+}
+
+// EngineStats mirrors the cost engine's work counters in the response.
+type EngineStats struct {
+	CandidateEvals int64 `json:"candidate_evals"`
+	QueryEvals     int64 `json:"query_evals"`
+	QuerySkips     int64 `json:"query_skips"`
+}
+
+// Recommend runs one greedy advisor search over the shared caches with
+// request-local engine state. Results are identical to an in-process
+// advisor.Run over the same workload, weights and budget.
+func (s *Server) Recommend(req *RecommendRequest) (*RecommendResponse, error) {
+	if req.BudgetGB <= 0 {
+		return nil, badRequest("budget_gb must be positive, got %g", req.BudgetGB)
+	}
+	ad := advisor.New(s.cfg.Catalog, s.cfg.Stats, storage.BytesForGB(req.BudgetGB))
+	ad.Parallelism = s.cfg.Workers
+	ad.MaxIndexes = req.MaxIndexes
+	for i, q := range s.cfg.Queries {
+		if err := ad.AddPrepared(q, s.cfg.Analyses[i], s.cfg.Caches[i], s.weights[i]); err != nil {
+			return nil, err
+		}
+	}
+	for _, ix := range s.candidates {
+		ad.AddCandidate(ix)
+	}
+	res, err := ad.Run()
+	if err != nil {
+		return nil, err
+	}
+	return RecommendResponseFrom(res, s.cfg.Queries), nil
+}
+
+// RecommendResponseFrom shapes an advisor result for the wire. The CLI's
+// verify mode shapes an independent in-process Advisor.Run result through
+// the same function, so a served response and its ground truth can be
+// compared byte for byte.
+func RecommendResponseFrom(res *advisor.Result, queries []*query.Query) *RecommendResponse {
+	resp := &RecommendResponse{
+		TotalBytes: res.TotalBytes,
+		BaseCost:   res.BaseCost,
+		FinalCost:  res.FinalCost,
+		Speedup:    res.Speedup(),
+		Rounds:     res.Rounds,
+		Candidates: res.CandidateCount,
+		Engine: EngineStats{
+			CandidateEvals: res.Engine.CandidateEvals,
+			QueryEvals:     res.Engine.QueryEvals,
+			QuerySkips:     res.Engine.QuerySkips,
+		},
+	}
+	for _, ix := range res.Chosen {
+		resp.Chosen = append(resp.Chosen, ix.Key())
+	}
+	for _, q := range queries {
+		pq := res.PerQuery[q.Name]
+		resp.Queries = append(resp.Queries, QueryCost{Name: q.Name, Base: pq[0], Cost: pq[1]})
+	}
+	return resp
+}
+
+func (s *Server) handleRecommend(r *http.Request) (any, error) {
+	var req RecommendRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	return s.Recommend(&req)
+}
+
+// ---------------------------------------------------------- explain ----
+
+// ExplainRequest optimizes one query under a configuration.
+type ExplainRequest struct {
+	SQL     string      `json:"sql"`
+	Indexes []IndexSpec `json:"indexes"`
+}
+
+// ExplainLeaf is one relation's access requirement in the chosen plan's
+// INUM decomposition.
+type ExplainLeaf struct {
+	Rel        int     `json:"rel"`
+	Table      string  `json:"table"`
+	Mode       string  `json:"mode"`
+	Col        string  `json:"col,omitempty"`
+	Coef       float64 `json:"coef"`
+	AccessCost float64 `json:"access_cost"`
+}
+
+// ExplainResponse is the plan, its cost, and its decomposition.
+type ExplainResponse struct {
+	Cost     float64       `json:"cost"`
+	Internal float64       `json:"internal"`
+	Plan     string        `json:"plan"`
+	Leaves   []ExplainLeaf `json:"leaves"`
+}
+
+// Explain runs one conventional optimizer call for an ad-hoc query — the
+// only endpoint that plans, since arbitrary SQL has no prebuilt cache —
+// and reports the plan tree plus its internal/leaf cost decomposition.
+// All state is request-local except the read-only catalog and the index
+// interner.
+func (s *Server) Explain(req *ExplainRequest) (*ExplainResponse, error) {
+	if req.SQL == "" {
+		return nil, badRequest("sql is required")
+	}
+	stmt, err := sql.Parse(req.SQL)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	q, err := sql.Bind(stmt, s.cfg.Catalog, "adhoc")
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	cfg, err := s.resolveConfig(req.Indexes)
+	if err != nil {
+		return nil, err
+	}
+	a, err := optimizer.NewAnalysis(q, s.cfg.Stats, optimizer.DefaultCostParams())
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	res, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: true})
+	if err != nil {
+		return nil, err
+	}
+	sum := optimizer.Summarize(res.Best, len(q.Rels))
+	resp := &ExplainResponse{
+		Cost:     res.Best.Cost,
+		Internal: sum.Internal,
+		Plan:     optimizer.Explain(res.Best, q),
+	}
+	for rel, lr := range sum.Leaves {
+		ac, ok := a.AccessCost(rel, lr, cfg)
+		if !ok {
+			ac = math.Inf(1)
+		}
+		resp.Leaves = append(resp.Leaves, ExplainLeaf{
+			Rel:        rel,
+			Table:      q.Rels[rel].Table.Name,
+			Mode:       lr.Mode.String(),
+			Col:        lr.Col,
+			Coef:       lr.Coef,
+			AccessCost: ac,
+		})
+	}
+	return resp, nil
+}
+
+func (s *Server) handleExplain(r *http.Request) (any, error) {
+	var req ExplainRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	return s.Explain(&req)
+}
+
+// ------------------------------------------------- health / metrics ----
+
+func (s *Server) handleHealth(*http.Request) (any, error) {
+	entries, slim := 0, true
+	for _, c := range s.cfg.Caches {
+		entries += len(c.Plans)
+		slim = slim && c.Slim()
+	}
+	return map[string]any{
+		"status":               "ok",
+		"queries":              len(s.cfg.Queries),
+		"entries":              entries,
+		"slim":                 slim,
+		"candidates":           len(s.candidates),
+		"candidate_gen_errors": len(s.genErrors),
+	}, nil
+}
+
+// EndpointStats is one endpoint's counters as /statz reports them.
+type EndpointStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	AvgMs    float64 `json:"avg_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+func (s *Server) handleStatz(*http.Request) (any, error) {
+	eps := make(map[string]EndpointStats, len(s.metrics))
+	names := make([]string, 0, len(s.metrics))
+	for name := range s.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := s.metrics[name]
+		n := m.requests.Load()
+		st := EndpointStats{
+			Requests: n,
+			Errors:   m.errors.Load(),
+			MaxMs:    float64(m.maxNs.Load()) / 1e6,
+		}
+		if n > 0 {
+			st.AvgMs = float64(m.totalNs.Load()) / float64(n) / 1e6
+		}
+		eps[name] = st
+	}
+	out := map[string]any{
+		"uptime_seconds":   time.Since(s.start).Seconds(),
+		"interned_indexes": s.internedCount(),
+		"endpoints":        eps,
+	}
+	if len(s.genErrors) > 0 {
+		out["candidate_gen_errors"] = s.genErrors
+	}
+	return out, nil
+}
+
+func (s *Server) internedCount() int {
+	s.ixMu.Lock()
+	defer s.ixMu.Unlock()
+	return s.ws.Count()
+}
+
+// EncodeJSON renders a response value exactly as the HTTP handlers do
+// (two-space indent, trailing newline), so out-of-band recomputations can
+// be byte-compared against a served body.
+func EncodeJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// ------------------------------------------------------- snapshots -----
+
+// LoadOrBuild returns slim plan caches for the workload. When
+// snapshotPath names a loadable snapshot carrying the environment's
+// fingerprint, the caches are reconstructed from it and buildReason is
+// "". Otherwise — no path configured, file missing, or the snapshot is
+// corrupt, stale, or mismatched against the workload — the caches are
+// built with two optimizer calls per query and, when snapshotPath is
+// non-empty, saved back (atomically overwriting a rejected file), with
+// buildReason saying why the build happened; a rejected snapshot never
+// serves stale costs, and never wedges the daemon either.
+func LoadOrBuild(cat *catalog.Catalog, st *stats.Store, queries []*query.Query,
+	analyses []*optimizer.Analysis, snapshotPath string, workers int) (caches []*inum.Cache, buildReason string, err error) {
+
+	fp := plancache.Fingerprint(cat, st, optimizer.DefaultCostParams())
+	buildReason = "no snapshot configured"
+	if snapshotPath != "" {
+		if _, statErr := os.Stat(snapshotPath); statErr != nil {
+			buildReason = "snapshot not found"
+		} else if snap, loadErr := plancache.Load(snapshotPath, fp); loadErr != nil {
+			buildReason = fmt.Sprintf("snapshot rejected: %v", loadErr)
+		} else if caches, err = plancache.BuildCaches(snap, queries, analyses); err != nil {
+			buildReason = fmt.Sprintf("snapshot rejected: %v", err)
+		} else {
+			return caches, "", nil
+		}
+	}
+	caches, err = core.BuildAllSlim(analyses, cat, workers)
+	if err != nil {
+		return nil, "", err
+	}
+	if snapshotPath != "" {
+		snap := &plancache.Snapshot{Fingerprint: fp}
+		for _, c := range caches {
+			snap.Queries = append(snap.Queries, plancache.FromCache(c))
+		}
+		if err := plancache.Save(snapshotPath, snap); err != nil {
+			return nil, "", err
+		}
+	}
+	return caches, buildReason, nil
+}

@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/advisor"
+	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/storage"
+	"github.com/pinumdb/pinum/internal/whatif"
+	"github.com/pinumdb/pinum/internal/workload"
+)
+
+// fixture is a started test server plus everything needed to recompute
+// its answers independently.
+type fixture struct {
+	star     *workload.Star
+	queries  []*query.Query
+	analyses []*optimizer.Analysis
+	srv      *Server
+	ts       *httptest.Server
+}
+
+// newFixture boots a server over snapshot-roundtripped slim caches — the
+// production startup path (build → save → load) — on the star workload.
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	star, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := star.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyses := make([]*optimizer.Analysis, len(queries))
+	for i, q := range queries {
+		if analyses[i], err = optimizer.NewAnalysis(q, star.Stats, optimizer.DefaultCostParams()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapPath := filepath.Join(t.TempDir(), "star.pcache")
+	caches, reason, err := LoadOrBuild(star.Catalog, star.Stats, queries, analyses, snapPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason == "" {
+		t.Fatal("first LoadOrBuild should build")
+	}
+	// Reload through the snapshot so the served caches took the
+	// persistence path.
+	caches, reason, err = LoadOrBuild(star.Catalog, star.Stats, queries, analyses, snapPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != "" {
+		t.Fatalf("second LoadOrBuild should load the snapshot, rebuilt instead: %s", reason)
+	}
+	srv, err := New(Config{
+		Catalog:  star.Catalog,
+		Stats:    star.Stats,
+		Queries:  queries,
+		Analyses: analyses,
+		Caches:   caches,
+		Workers:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &fixture{star: star, queries: queries, analyses: analyses, srv: srv, ts: ts}
+}
+
+func (f *fixture) post(t *testing.T, path string, body any, out any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(f.ts.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// TestWhatIfMatchesInProcess compares served what-if costs, bit for bit,
+// against direct evaluation on independently built tree-backed caches.
+func TestWhatIfMatchesInProcess(t *testing.T) {
+	f := newFixture(t)
+	trees, err := core.BuildAll(f.analyses, f.star.Catalog, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := whatif.NewSession(f.star.Catalog)
+	reqs := []WhatIfRequest{
+		{},
+		{Indexes: []IndexSpec{{Table: "fact", Columns: []string{"a1", "m1"}}}},
+		{Indexes: []IndexSpec{
+			{Table: "fact", Columns: []string{"fk_dim1_1", "m1"}},
+			{Table: "dim1_1", Columns: []string{"a1"}},
+			{Table: "dim1_2", Columns: []string{"id", "a1"}},
+		}},
+	}
+	for ri, req := range reqs {
+		var got WhatIfResponse
+		if resp := f.post(t, "/whatif", req, &got); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", ri, resp.StatusCode)
+		}
+		cfg := &query.Config{}
+		for _, spec := range req.Indexes {
+			ix, err := ws.CreateIndex(spec.Table, spec.Columns...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Indexes = append(cfg.Indexes, ix)
+		}
+		wantTotal := 0.0
+		for i, c := range trees {
+			want, _, err := c.Cost(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTotal += want
+			if math.Float64bits(got.Queries[i].Cost) != math.Float64bits(want) {
+				t.Errorf("request %d, %s: served %v, in-process %v",
+					ri, f.queries[i].Name, got.Queries[i].Cost, want)
+			}
+		}
+		if math.Float64bits(got.Total) != math.Float64bits(wantTotal) {
+			t.Errorf("request %d: served total %v, in-process %v", ri, got.Total, wantTotal)
+		}
+	}
+}
+
+// TestRecommendMatchesAdvisorRun compares the served recommendation with
+// a plain in-process Advisor.Run over freshly built tree-backed caches.
+func TestRecommendMatchesAdvisorRun(t *testing.T) {
+	f := newFixture(t)
+	var got RecommendResponse
+	if resp := f.post(t, "/recommend", RecommendRequest{BudgetGB: 5}, &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	ad := advisor.New(f.star.Catalog, f.star.Stats, storage.BytesForGB(5))
+	if err := ad.AddQueries(f.queries, nil); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ad.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Chosen) != len(want.Chosen) {
+		t.Fatalf("served %d picks, in-process %d", len(got.Chosen), len(want.Chosen))
+	}
+	for i := range got.Chosen {
+		if got.Chosen[i] != want.Chosen[i].Key() {
+			t.Errorf("pick %d: served %s, in-process %s", i, got.Chosen[i], want.Chosen[i].Key())
+		}
+	}
+	if math.Float64bits(got.BaseCost) != math.Float64bits(want.BaseCost) ||
+		math.Float64bits(got.FinalCost) != math.Float64bits(want.FinalCost) {
+		t.Errorf("served base/final %v/%v, in-process %v/%v",
+			got.BaseCost, got.FinalCost, want.BaseCost, want.FinalCost)
+	}
+	if got.TotalBytes != want.TotalBytes || got.Rounds != want.Rounds {
+		t.Errorf("served bytes/rounds %d/%d, in-process %d/%d",
+			got.TotalBytes, got.Rounds, want.TotalBytes, want.Rounds)
+	}
+}
+
+// TestExplainDecomposition checks the explain contract: total cost equals
+// internal plus the coefficient-weighted leaf costs.
+func TestExplainDecomposition(t *testing.T) {
+	f := newFixture(t)
+	var got ExplainResponse
+	req := ExplainRequest{
+		SQL:     "SELECT fact.m1 FROM fact, dim1_1 WHERE fact.fk_dim1_1 = dim1_1.id ORDER BY dim1_1.a1",
+		Indexes: []IndexSpec{{Table: "dim1_1", Columns: []string{"a1", "id"}}},
+	}
+	if resp := f.post(t, "/explain", req, &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got.Plan == "" || len(got.Leaves) != 2 {
+		t.Fatalf("unexpected explain payload: %+v", got)
+	}
+	sum := got.Internal
+	for _, leaf := range got.Leaves {
+		sum += leaf.Coef * leaf.AccessCost
+	}
+	if math.Abs(sum-got.Cost) > 1e-6*math.Abs(got.Cost) {
+		t.Errorf("decomposition does not add up: internal+leaves=%v, cost=%v", sum, got.Cost)
+	}
+}
+
+// TestConcurrentWhatIf hammers /whatif from many goroutines with distinct
+// configurations and requires every answer to equal its precomputed
+// expectation — under -race this also proves the shared-cache path clean.
+func TestConcurrentWhatIf(t *testing.T) {
+	f := newFixture(t)
+	dims := []string{"dim1_1", "dim1_2", "dim1_3", "dim1_4", "dim1_5", "dim1_6", "dim1_7", "dim1_8"}
+	type testCase struct {
+		req  WhatIfRequest
+		want WhatIfResponse
+	}
+	cases := make([]testCase, len(dims))
+	for i, d := range dims {
+		req := WhatIfRequest{Indexes: []IndexSpec{
+			{Table: d, Columns: []string{"a1", "id"}},
+			{Table: "fact", Columns: []string{fmt.Sprintf("fk_%s", d), "m1"}},
+		}}
+		want, err := f.srv.WhatIf(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases[i] = testCase{req: req, want: *want}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for rep := 0; rep < 8; rep++ {
+		for _, tc := range cases {
+			wg.Add(1)
+			go func(tc testCase) {
+				defer wg.Done()
+				data, _ := json.Marshal(tc.req)
+				resp, err := http.Post(f.ts.URL+"/whatif", "application/json", bytes.NewReader(data))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				var got WhatIfResponse
+				if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(got.Total) != math.Float64bits(tc.want.Total) {
+					errs <- fmt.Errorf("concurrent total %v, expected %v", got.Total, tc.want.Total)
+				}
+			}(tc)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRequestValidation pins the error contract: wrong method, malformed
+// body, unknown fields, unknown tables and bad budgets are client errors.
+func TestRequestValidation(t *testing.T) {
+	f := newFixture(t)
+
+	resp, err := http.Get(f.ts.URL + "/whatif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /whatif: status %d, want 405", resp.StatusCode)
+	}
+
+	bad := []struct {
+		path string
+		body string
+	}{
+		{"/whatif", `{"indexes":[{"table":"nope","columns":["a1"]}]}`},
+		{"/whatif", `{"indexes":[{"table":"fact","columns":[]}]}`},
+		{"/whatif", `{"bogus":1}`},
+		{"/whatif", `not json`},
+		{"/recommend", `{"budget_gb":-1}`},
+		{"/explain", `{"sql":""}`},
+		{"/explain", `{"sql":"SELECT nope FROM nowhere"}`},
+	}
+	for _, tc := range bad {
+		resp, err := http.Post(f.ts.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var payload map[string]string
+		json.NewDecoder(resp.Body).Decode(&payload)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %q: status %d, want 400", tc.path, tc.body, resp.StatusCode)
+		}
+		if payload["error"] == "" {
+			t.Errorf("POST %s %q: no error message in response", tc.path, tc.body)
+		}
+	}
+}
+
+// TestHealthAndStatz checks the liveness payload and that the counters
+// actually count.
+func TestHealthAndStatz(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Get(f.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Queries int    `json:"queries"`
+		Entries int    `json:"entries"`
+		Slim    bool   `json:"slim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Queries != len(f.queries) || health.Entries == 0 || !health.Slim {
+		t.Fatalf("unexpected health payload: %+v", health)
+	}
+
+	f.post(t, "/whatif", WhatIfRequest{}, nil)
+	f.post(t, "/whatif", WhatIfRequest{}, nil)
+	resp, err = http.Get(f.ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statz struct {
+		Uptime    float64                  `json:"uptime_seconds"`
+		Endpoints map[string]EndpointStats `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if statz.Endpoints["/whatif"].Requests < 2 {
+		t.Errorf("statz reports %d /whatif requests, want >= 2", statz.Endpoints["/whatif"].Requests)
+	}
+	if statz.Endpoints["/healthz"].Requests < 1 {
+		t.Errorf("statz reports no /healthz requests")
+	}
+}
+
+// TestLoadOrBuildRebuildsStaleSnapshot pins the startup staleness story:
+// after statistics drift, the saved snapshot is never served — it is
+// rebuilt and overwritten, with the rejection surfaced in the reason.
+func TestLoadOrBuildRebuildsStaleSnapshot(t *testing.T) {
+	star, err := workload.StarSchema(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := star.Queries(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyses := make([]*optimizer.Analysis, len(queries))
+	for i, q := range queries {
+		if analyses[i], err = optimizer.NewAnalysis(q, star.Stats, optimizer.DefaultCostParams()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapPath := filepath.Join(t.TempDir(), "star.pcache")
+	if _, _, err := LoadOrBuild(star.Catalog, star.Stats, queries, analyses, snapPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	// Drift the statistics: the stale snapshot must be rejected and
+	// rebuilt, not loaded and not a startup failure.
+	star.Catalog.Table("fact").RowCount *= 2
+	for i, q := range queries {
+		if analyses[i], err = optimizer.NewAnalysis(q, star.Stats, optimizer.DefaultCostParams()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, reason, err := LoadOrBuild(star.Catalog, star.Stats, queries, analyses, snapPath, 0)
+	if err != nil {
+		t.Fatalf("LoadOrBuild failed on a stale snapshot instead of rebuilding: %v", err)
+	}
+	if !strings.Contains(reason, "rejected") {
+		t.Fatalf("stale snapshot load reported %q, want a rejection reason", reason)
+	}
+
+	// The rebuilt snapshot carries the new fingerprint: a third start
+	// loads it cleanly.
+	if _, reason, err = LoadOrBuild(star.Catalog, star.Stats, queries, analyses, snapPath, 0); err != nil {
+		t.Fatal(err)
+	} else if reason != "" {
+		t.Fatalf("rebuilt snapshot did not load: %s", reason)
+	}
+}

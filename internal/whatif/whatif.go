@@ -56,6 +56,22 @@ func (s *Session) CreateIndex(table string, columns ...string) (*catalog.Index, 
 		}
 		seen[col] = true
 	}
+	key := indexKey(table, columns)
+	if ix, ok := s.byKey[key]; ok {
+		return ix, nil
+	}
+	s.counter++
+	name := fmt.Sprintf("hypo_%s_%d", table, s.counter)
+	ix := storage.HypotheticalIndex(name, t, columns)
+	s.hypo[name] = ix
+	s.byKey[key] = ix
+	s.seq[name] = s.counter
+	return ix, nil
+}
+
+// indexKey builds the canonical table(col1,col2,...) dedup key CreateIndex
+// and Lookup share — one format, one place to change it.
+func indexKey(table string, columns []string) string {
 	size := len(table) + 1 + len(columns) // "(", one "," per column, ")"
 	for _, c := range columns {
 		size += len(c)
@@ -71,17 +87,17 @@ func (s *Session) CreateIndex(table string, columns ...string) (*catalog.Index, 
 		kb.WriteString(c)
 	}
 	kb.WriteByte(')')
-	key := kb.String()
-	if ix, ok := s.byKey[key]; ok {
-		return ix, nil
-	}
-	s.counter++
-	name := fmt.Sprintf("hypo_%s_%d", table, s.counter)
-	ix := storage.HypotheticalIndex(name, t, columns)
-	s.hypo[name] = ix
-	s.byKey[key] = ix
-	s.seq[name] = s.counter
-	return ix, nil
+	return kb.String()
+}
+
+// Count returns the number of hypothetical indexes the session holds.
+// Long-lived servers use it to bound their shared index interner.
+func (s *Session) Count() int { return len(s.hypo) }
+
+// Lookup returns the already-declared index on table(columns...), or nil
+// — CreateIndex's dedup check without the side effect of declaring.
+func (s *Session) Lookup(table string, columns ...string) *catalog.Index {
+	return s.byKey[indexKey(table, columns)]
 }
 
 // DropIndex removes a hypothetical index by name.

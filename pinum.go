@@ -47,6 +47,7 @@ import (
 	"github.com/pinumdb/pinum/internal/executor"
 	"github.com/pinumdb/pinum/internal/inum"
 	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/plancache"
 	"github.com/pinumdb/pinum/internal/query"
 	"github.com/pinumdb/pinum/internal/sql"
 	"github.com/pinumdb/pinum/internal/stats"
@@ -165,6 +166,7 @@ type BuildOption func(*buildOptions)
 type buildOptions struct {
 	workers int
 	precise bool
+	slim    bool
 }
 
 // WithWorkers bounds the construction worker pool. n <= 0 (the default)
@@ -177,6 +179,17 @@ func WithWorkers(n int) BuildOption {
 // every cache in the batch.
 func WithPrecise() BuildOption {
 	return func(o *buildOptions) { o.precise = true }
+}
+
+// WithSlim builds slim caches: each entry keeps only the INUM
+// decomposition (combo, internal cost, per-relation leaf requirements)
+// and drops the optimizer's path tree, cutting retained memory by several
+// times on wide queries. Cost results are bit-identical to the default
+// tree-backed caches; slim caches just cannot render EXPLAIN trees or
+// feed the executor. SaveCaches/LoadCaches and the pinum-serve server
+// work with slim caches.
+func WithSlim() BuildOption {
+	return func(o *buildOptions) { o.slim = true }
 }
 
 // BuildPlanCaches fills one PINUM plan cache per query across a bounded
@@ -197,7 +210,58 @@ func (db *Database) BuildPlanCaches(queries []*Query, opts ...BuildOption) ([]*P
 		}
 		analyses[i] = a
 	}
-	return core.BuildAll(analyses, db.cat, o.workers, o.precise)
+	return core.BuildAllWith(analyses, db.cat, o.workers, core.Builder(o.precise, o.slim))
+}
+
+// BuildPlanCacheSlim fills a slim plan cache: two optimizer calls, path
+// trees dropped at export time (see WithSlim).
+func (db *Database) BuildPlanCacheSlim(q *Query) (*PlanCache, error) {
+	a, err := db.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildSlim(a, whatif.NewSession(db.cat))
+}
+
+// CacheFingerprint identifies the environment plan caches are built
+// under: the catalog, its statistics, and the default cost parameters.
+// SaveCaches embeds it in every snapshot and LoadCaches rejects
+// snapshots whose fingerprint no longer matches.
+func (db *Database) CacheFingerprint() uint64 {
+	return plancache.Fingerprint(db.cat, db.st, optimizer.DefaultCostParams())
+}
+
+// SaveCaches writes the caches' slim plan representation to a versioned,
+// checksummed snapshot file, fingerprinted against this database's
+// catalog, statistics and cost parameters. Both tree-backed and slim
+// caches can be saved; only the INUM decomposition is stored either way.
+func (db *Database) SaveCaches(path string, caches []*PlanCache) error {
+	snap := &plancache.Snapshot{Fingerprint: db.CacheFingerprint()}
+	for _, c := range caches {
+		snap.Queries = append(snap.Queries, plancache.FromCache(c))
+	}
+	return plancache.Save(path, snap)
+}
+
+// LoadCaches reads a snapshot and reconstructs one slim plan cache per
+// query, matched by query name, with no optimizer calls. The snapshot
+// must carry this database's current fingerprint (a snapshot built
+// against a drifted schema, statistics or cost parameters is rejected)
+// and must cover every query by name with matching SQL text. Loaded
+// caches answer Cost and BaseLeafCosts bit-identically to the caches
+// that were saved.
+func (db *Database) LoadCaches(path string, queries []*Query) ([]*PlanCache, error) {
+	snap, err := plancache.Load(path, db.CacheFingerprint())
+	if err != nil {
+		return nil, err
+	}
+	analyses := make([]*optimizer.Analysis, len(queries))
+	for i, q := range queries {
+		if analyses[i], err = db.Analyze(q); err != nil {
+			return nil, err
+		}
+	}
+	return plancache.BuildCaches(snap, queries, analyses)
 }
 
 // BuildPlanCachePrecise fills the cache with the §V-D high-accuracy

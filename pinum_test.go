@@ -192,3 +192,53 @@ func TestParseQueryErrors(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 }
+
+// TestSaveLoadCaches round-trips the public snapshot API: slim batch
+// build, save, load, and bit-identical costs — plus rejection once the
+// schema drifts.
+func TestSaveLoadCaches(t *testing.T) {
+	db := demoDB(t)
+	q, err := db.ParseQuery(demoSQL, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caches, err := db.BuildPlanCaches([]*Query{q}, WithSlim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !caches[0].Slim() {
+		t.Fatal("WithSlim built a tree-backed cache")
+	}
+	path := t.TempDir() + "/demo.pcache"
+	if err := db.SaveCaches(path, caches); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := db.LoadCaches(path, []*Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := db.WhatIf()
+	ix, err := ws.CreateIndex("orders", "amount", "customer_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []*Config{{}, {Indexes: []*Index{ix}}} {
+		want, _, err := caches[0].Cost(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := loaded[0].Cost(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("loaded cache cost %v, want %v", got, want)
+		}
+	}
+
+	// A drifted environment must reject the snapshot.
+	db.Catalog().Table("orders").RowCount *= 2
+	if _, err := db.LoadCaches(path, []*Query{q}); err == nil {
+		t.Error("LoadCaches accepted a snapshot after the catalog changed")
+	}
+}
