@@ -1,0 +1,48 @@
+# Local mirrors of the CI steps (.github/workflows/ci.yml).
+#
+#   make check   — everything CI runs that works offline
+#   make lint    — the pinum-lint invariant suite alone
+#   make static  — staticcheck + govulncheck (fetched at run time: network)
+
+GO ?= go
+
+.PHONY: build test race shuffle fuzz bench lint static fmt vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+fuzz:
+	$(GO) test ./internal/optimizer -run=NONE -fuzz=FuzzOptimizeEquivalence -fuzztime=10s
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The invariant suite: determinism, sealed-cache immutability,
+# cost-arithmetic locality, hot-path allocation discipline, directive
+# hygiene. `go run ./cmd/pinum-lint -list` describes the analyzers.
+lint:
+	$(GO) run ./cmd/pinum-lint ./...
+
+# Third-party checkers, fetched at run time (this module has no
+# dependencies of its own); requires network, so CI-only by default.
+static:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@latest -checks SA ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build lint test race shuffle

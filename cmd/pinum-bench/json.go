@@ -197,10 +197,7 @@ func runJSONBench(label string, seed int64) (string, error) {
 		return "", err
 	}
 	fp := plancache.Fingerprint(env.Star.Catalog, env.Star.Stats, optimizer.DefaultCostParams())
-	snap := &plancache.Snapshot{Fingerprint: fp}
-	for _, c := range slims {
-		snap.Queries = append(snap.Queries, plancache.FromCache(c))
-	}
+	snap := plancache.NewSnapshot(fp, slims)
 	var snapBuf bytes.Buffer
 	if err := plancache.Encode(&snapBuf, snap); err != nil {
 		return "", err

@@ -295,6 +295,7 @@ func (ad *Advisor) workloadCost(chosen []*catalog.Index) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
+		//pinum:costarith-ok the workload objective Σ wᵢ·cᵢ on the reference path; the engine mirror is pinned by TestRunMatchesReferenceStarWorkload
 		total += qs.Weight * c
 	}
 	return total, nil
@@ -312,6 +313,7 @@ func (ad *Advisor) workloadCostPer(chosen []*catalog.Index) (float64, []float64,
 		if err != nil {
 			return 0, nil, err
 		}
+		//pinum:costarith-ok same objective as workloadCost with the per-query breakdown kept; pinned by TestRunMatchesReferenceStarWorkload
 		total += qs.Weight * c
 		per[i] = c
 	}
@@ -489,6 +491,7 @@ func (ad *Advisor) runGreedy(p pricer, start time.Time) (*Result, error) {
 		bestIdx := -1
 		bestCost := current
 		for j, i := range eligible {
+			//pinum:costarith-ok greedy strict-improvement threshold, not a cost formula; identical on serial and parallel paths (TestParallelRunMatchesSerial)
 			if c := costs[j]; c < bestCost-1e-9 {
 				bestCost = c
 				bestIdx = i
@@ -531,6 +534,7 @@ func (r *Result) Speedup() float64 {
 	if r.BaseCost <= 0 {
 		return 0
 	}
+	//pinum:costarith-ok reporting-only ratio of two already-computed totals; feeds no plan or selection decision
 	s := 1 - r.FinalCost/r.BaseCost
 	return math.Max(0, s)
 }

@@ -130,6 +130,7 @@ func New(queries []Query) (*Engine, error) {
 		}
 		// Queries are processed in registration order, so each per-table
 		// list stays ascending without sorting.
+		//pinum:nondeterministic-ok per-table lists are disjoint: iteration order only interleaves appends to different e.byTable keys, never reorders within one
 		for t := range qs.relsOnTable {
 			e.byTable[t] = append(e.byTable[t], qi)
 		}
@@ -154,6 +155,8 @@ func New(queries []Query) (*Engine, error) {
 // the configuration would see; the plan total accumulates coef × leaf in
 // relation order from the internal cost; the plan choice scans plans in
 // cache order with strict improvement.
+//
+//pinum:hotpath
 func (qs *queryState) costWith(extra *catalog.Index) float64 {
 	var rels []int
 	if extra != nil {
@@ -177,6 +180,7 @@ func (qs *queryState) costWith(extra *catalog.Index) float64 {
 				ok = false
 				break
 			}
+			//pinum:costarith-ok bit-identical mirror of inum.Cache.Cost's fold, pinned by TestBaselineMatchesCacheCost and TestEvaluateAndApplyMatchCacheCost
 			cost += req.Coef * l
 		}
 		if ok && cost < best {
@@ -192,6 +196,7 @@ func (qs *queryState) costWith(extra *catalog.Index) float64 {
 func (e *Engine) recomputeTotal() {
 	total := 0.0
 	for _, qs := range e.queries {
+		//pinum:costarith-ok same in-order weighted sum as EvaluateCandidate and advisor.workloadCost; pinned by advisor.TestRunMatchesReferenceStarWorkload
 		total += qs.weight * qs.best
 	}
 	e.total = total
@@ -221,6 +226,8 @@ func (e *Engine) Chosen() []*catalog.Index {
 // final weighted sum still visits queries in registration order, so the
 // result is bit-identical to re-pricing the whole workload from scratch
 // under the equivalent configuration. Safe for concurrent use.
+//
+//pinum:hotpath
 func (e *Engine) EvaluateCandidate(ix *catalog.Index) float64 {
 	affected := e.byTable[ix.Table]
 	total := 0.0
@@ -239,6 +246,7 @@ func (e *Engine) EvaluateCandidate(ix *catalog.Index) float64 {
 		} else {
 			skips++
 		}
+		//pinum:costarith-ok the workload objective Σ wᵢ·cᵢ, mirroring advisor.workloadCost in query order; pinned by advisor.TestRunMatchesReferenceStarWorkload
 		total += qs.weight * c
 	}
 	e.candidateEvals.Add(1)

@@ -260,6 +260,8 @@ func (c *Cache) MemStats() MemStats {
 // It returns the winning plan. An error is returned only when no cached
 // plan is applicable (an empty cache). Costs are identical to evaluating
 // Analysis.AccessCost directly; leaf costs are served from the memo.
+//
+//pinum:hotpath
 func (c *Cache) Cost(cfg *query.Config) (float64, *CachedPlan, error) {
 	best := math.Inf(1)
 	var bestPlan *CachedPlan
@@ -272,6 +274,7 @@ func (c *Cache) Cost(cfg *query.Config) (float64, *CachedPlan, error) {
 				ok = false
 				break
 			}
+			//pinum:costarith-ok the INUM fold itself (internal + Σ coef·access); costmatrix mirrors it bit-identically, pinned by costmatrix.TestEvaluateAndApplyMatchCacheCost
 			cost += req.Coef * a
 		}
 		if ok && cost < best {
@@ -444,6 +447,7 @@ func AllOrdersConfig(a *optimizer.Analysis, ws *whatif.Session) (*query.Config, 
 func coveringColumns(a *optimizer.Analysis, rels []int, lead string) []string {
 	need := make(map[string]bool)
 	for _, r := range rels {
+		//pinum:nondeterministic-ok set union into need; the result is sorted below before use
 		for col := range a.Rels[r].Needed {
 			need[col] = true
 		}
@@ -462,6 +466,7 @@ func coveringColumns(a *optimizer.Analysis, rels []int, lead string) []string {
 // combination and nested-loop mode (2 × |combos| calls), caching each
 // returned optimal plan.
 func Build(a *optimizer.Analysis, ws *whatif.Session) (*Cache, error) {
+	//pinum:nondeterministic-ok wall-clock feeds only Stats.Duration, never a plan or cost
 	start := time.Now()
 	c := NewCache(a)
 	combos := a.Q.EnumerateCombos()
@@ -481,6 +486,7 @@ func Build(a *optimizer.Analysis, ws *whatif.Session) (*Cache, error) {
 			c.AddPath(res.Best)
 		}
 	}
+	//pinum:nondeterministic-ok wall-clock feeds only Stats.Duration, never a plan or cost
 	c.Stats.Duration = time.Since(start)
 	c.Stats.Mem = c.MemStats()
 	return c, nil
@@ -507,6 +513,7 @@ type AccessCostTable struct {
 // (§V-C's "relatively inefficient" baseline). Optimizer failures are
 // recorded in the table's Errors counter rather than dropped.
 func CollectAccessCostsNaive(a *optimizer.Analysis, candidates []*catalog.Index) *AccessCostTable {
+	//pinum:nondeterministic-ok wall-clock feeds only the table's Duration stat, never a cost
 	start := time.Now()
 	t := &AccessCostTable{ByIndex: make(map[string][]optimizer.IndexAccess)}
 	for _, ix := range candidates {
@@ -523,6 +530,7 @@ func CollectAccessCostsNaive(a *optimizer.Analysis, candidates []*catalog.Index)
 			}
 		}
 	}
+	//pinum:nondeterministic-ok wall-clock feeds only the table's Duration stat, never a cost
 	t.Duration = time.Since(start)
 	return t
 }

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// resultAffectingPkgs are the packages whose outputs must be reproducible
+// bit for bit: the two planners and their equivalence contract
+// (optimizer), the cached cost model (inum), the incremental pricing
+// engine (costmatrix), and the byte-deterministic snapshot codec
+// (plancache). A nondeterministic map iteration in any of them can change
+// plan tie-breaks, cost accumulation order, or encoded bytes between two
+// runs on identical input.
+var resultAffectingPkgs = []string{
+	"internal/optimizer",
+	"internal/inum",
+	"internal/costmatrix",
+	"internal/plancache",
+}
+
+// Determinism flags the three common sources of run-to-run divergence in
+// result-affecting packages:
+//
+//   - ranging over a map, unless the loop is the key-collection idiom
+//     (every statement appends the range key to a slice that is later
+//     passed to a sort call in the same function) or the site carries
+//     //pinum:nondeterministic-ok with a justification;
+//   - calling time.Now or time.Since (wall-clock reads — build-duration
+//     stats are the legitimate, annotated exception);
+//   - importing math/rand or math/rand/v2 (randomized behaviour belongs
+//     in test files and the workload generators, never in these
+//     packages).
+var Determinism = &Analyzer{
+	Name:     "determinism",
+	Suppress: DirNondeterministicOK,
+	Doc: "flag map iteration, wall-clock and math/rand use in result-affecting packages " +
+		"(optimizer, inum, costmatrix, plancache); sorted-key collection loops are " +
+		"recognized, everything else needs //pinum:nondeterministic-ok <why>",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), resultAffectingPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				pass.Reportf(imp.Pos(), "import of %s in result-affecting package %s: randomized behaviour here breaks run-to-run reproducibility", imp.Path.Value, pass.Pkg.Path())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			case *ast.CallExpr:
+				for _, fn := range [...]string{"Now", "Since"} {
+					if isPkgFunc(pass.TypesInfo, n.Fun, "time", fn) {
+						pass.Reportf(n.Pos(), "time.%s in result-affecting package %s: wall-clock reads are nondeterministic; if this only feeds stats, annotate //pinum:nondeterministic-ok with why", fn, pass.Pkg.Path())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags `range m` over a map unless it is a provably
+// order-insensitive key collection.
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if isSortedKeyCollection(pass, file, rs) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "range over map %s in result-affecting package %s: iteration order is nondeterministic; collect and sort the keys first, or annotate //pinum:nondeterministic-ok with why order cannot matter", exprString(rs.X), pass.Pkg.Path())
+}
+
+// isSortedKeyCollection recognizes the one blessed map-range shape:
+//
+//	for k := range m { keys = append(keys, k) }
+//	...
+//	sort.Strings(keys) // or sort.Slice/SliceStable/Ints/Float64s, or slices.Sort*
+//
+// Every statement in the body must append exactly the range key to a
+// slice variable, and each such slice must flow into a sort call later in
+// the same enclosing function. Anything fancier — folds, conditional
+// appends, value collection — must either sort keys first or carry a
+// directive.
+func isSortedKeyCollection(pass *Pass, file *ast.File, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[key]
+	if keyObj == nil {
+		// `for k = range m` with an outer k: resolve through Uses.
+		keyObj = pass.TypesInfo.Uses[key]
+	}
+	if keyObj == nil || len(rs.Body.List) == 0 {
+		return false
+	}
+	var targets []types.Object
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+			return false
+		}
+		dst, ok := call.Args[0].(*ast.Ident)
+		if !ok || dst.Name != lhs.Name {
+			return false
+		}
+		arg, ok := call.Args[1].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		argObj := pass.TypesInfo.Uses[arg]
+		if argObj == nil || argObj != keyObj {
+			return false
+		}
+		if o := objectOf(pass.TypesInfo, lhs); o != nil {
+			targets = append(targets, o)
+		} else {
+			return false
+		}
+	}
+	fn := enclosingFunc(pass.Files, rs.Pos())
+	if fn == nil {
+		return false
+	}
+	for _, target := range targets {
+		if !sortedLater(pass, fn, rs.End(), target) {
+			return false
+		}
+	}
+	return true
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// sortedLater reports whether a sort call whose first argument resolves
+// to target appears in fn after pos.
+func sortedLater(pass *Pass, fn *ast.FuncDecl, pos token.Pos, target types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		pkg := calleePkg(pass.TypesInfo, call.Fun)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		arg, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if objectOf(pass.TypesInfo, arg) == target {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,31 @@
+package lint
+
+// DirectiveCheck validates the //pinum: directive vocabulary itself, so
+// a typo can never silently suppress nothing: unknown names are flagged,
+// and every suppression directive must carry a justification (the issue
+// tracker is not a justification; say why the invariant holds anyway).
+var DirectiveCheck = &Analyzer{
+	Name: "directive",
+	Doc: "flag unknown //pinum: directive names and suppression directives without a " +
+		"justification argument",
+	Run: runDirectiveCheck,
+}
+
+func runDirectiveCheck(pass *Pass) error {
+	for _, d := range pass.Directives.All() {
+		needsArg, known := KnownDirectives[d.Name]
+		if !known {
+			pass.Reportf(d.Pos, "unknown directive //pinum:%s (known: alloc-ok, costarith-ok, hotpath, nondeterministic-ok, sealed-ok)", d.Name)
+			continue
+		}
+		if needsArg && d.Arg == "" {
+			pass.Reportf(d.Pos, "//pinum:%s requires a justification: say why the invariant holds at this site", d.Name)
+		}
+	}
+	return nil
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, SealedMut, CostArith, Hotpath, DirectiveCheck}
+}

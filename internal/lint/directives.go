@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //pinum:<name> [justification] comment. Directives are
+// the suite's escape hatch: a site that violates an invariant on purpose
+// (wall-clock build stats, an order-insensitive map fold, the one
+// intentional cost-arithmetic mirror) declares so in the source, with a
+// justification the directive analyzer insists on.
+type Directive struct {
+	// Name is the directive token after "pinum:", e.g. "hotpath" or
+	// "nondeterministic-ok".
+	Name string
+	// Arg is the rest of the comment: the human justification.
+	Arg string
+	// Pos is the comment's position.
+	Pos token.Pos
+	// File and Line locate the directive for suppression matching.
+	File *token.File
+	Line int
+}
+
+// The directive vocabulary. Anything else spelled //pinum:... is flagged
+// by the directive analyzer, so a typo cannot silently suppress nothing.
+const (
+	DirNondeterministicOK = "nondeterministic-ok" // suppress determinism
+	DirSealedOK           = "sealed-ok"           // suppress sealedmut
+	DirCostArithOK        = "costarith-ok"        // suppress costarith
+	DirHotpath            = "hotpath"             // mark a hot function
+	DirAllocOK            = "alloc-ok"            // suppress hotpath
+)
+
+// KnownDirectives maps every valid directive name to whether it is a
+// suppression (and therefore requires a justification argument).
+var KnownDirectives = map[string]bool{
+	DirNondeterministicOK: true,
+	DirSealedOK:           true,
+	DirCostArithOK:        true,
+	DirHotpath:            false,
+	DirAllocOK:            true,
+}
+
+// Directives indexes every //pinum: comment of a package by file.
+type Directives struct {
+	byFile map[*token.File][]Directive
+	all    []Directive
+}
+
+// ParseDirectives scans the files' comments for //pinum: directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{byFile: make(map[*token.File][]Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//pinum:")
+				if !ok {
+					continue
+				}
+				name, arg, _ := strings.Cut(text, " ")
+				tf := fset.File(c.Pos())
+				dir := Directive{
+					Name: strings.TrimSpace(name),
+					Arg:  strings.TrimSpace(arg),
+					Pos:  c.Pos(),
+					File: tf,
+					Line: tf.Line(c.Pos()),
+				}
+				d.byFile[tf] = append(d.byFile[tf], dir)
+				d.all = append(d.all, dir)
+			}
+		}
+	}
+	return d
+}
+
+// All returns every directive in the package.
+func (d *Directives) All() []Directive { return d.all }
+
+// SuppressedAt reports whether a directive with the given name covers the
+// position: the directive sits on the same line, or on the line directly
+// above (the conventional standalone-comment placement).
+func (d *Directives) SuppressedAt(fset *token.FileSet, pos token.Pos, name string) bool {
+	tf := fset.File(pos)
+	line := tf.Line(pos)
+	for _, dir := range d.byFile[tf] {
+		if dir.Name != name {
+			continue
+		}
+		if dir.Line == line || dir.Line == line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHas reports whether the function declaration carries the directive:
+// in its doc comment group or on its first line.
+func (d *Directives) FuncHas(fset *token.FileSet, fn *ast.FuncDecl, name string) bool {
+	tf := fset.File(fn.Pos())
+	declLine := tf.Line(fn.Pos())
+	for _, dir := range d.byFile[tf] {
+		if dir.Name != name {
+			continue
+		}
+		if dir.Line == declLine {
+			return true
+		}
+		if fn.Doc != nil && dir.Pos >= fn.Doc.Pos() && dir.Pos <= fn.Doc.End() {
+			return true
+		}
+	}
+	return false
+}

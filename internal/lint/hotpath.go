@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath flags known allocation patterns inside functions marked
+// //pinum:hotpath (the planner's per-candidate screens, the DP loops,
+// the costmatrix fold — code whose allocs/op the benchmarks gate):
+//
+//   - any call into package fmt, except inside a return statement
+//     (error construction on a cold exit path is idiomatic);
+//   - append to a slice variable declared in the same function without a
+//     capacity hint (`var s []T`, `s := []T{}`, `s := make([]T, n)`), so
+//     every growth reallocates; appends into reused buffers, fields and
+//     parameters are trusted to be pre-grown;
+//   - function literals that capture enclosing variables (each closure
+//     allocates; non-capturing literals compile to static funcs);
+//   - string concatenation.
+//
+// A justified exception carries //pinum:alloc-ok.
+var Hotpath = &Analyzer{
+	Name:     "hotpath",
+	Suppress: DirAllocOK,
+	Doc: "flag allocation patterns (fmt calls, unhinted append growth, capturing closures, " +
+		"string concatenation) in functions marked //pinum:hotpath; justified sites " +
+		"carry //pinum:alloc-ok <why>",
+	Run: runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !pass.Directives.FuncHas(pass.Fset, fn, DirHotpath) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	unhinted := unhintedSlices(pass, fn)
+	var inReturn func(n ast.Node) bool
+	returns := map[ast.Node]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns[r] = true
+		}
+		return true
+	})
+	inReturn = func(n ast.Node) bool {
+		for r := range returns {
+			if n.Pos() >= r.Pos() && n.End() <= r.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkg := calleePkg(pass.TypesInfo, n.Fun); pkg == "fmt" && !inReturn(n) {
+				pass.Reportf(n.Pos(), "%s in //pinum:hotpath function %s allocates per call; precompute, use strconv/append forms, or annotate //pinum:alloc-ok with why this is cold", exprString(n.Fun), fn.Name.Name)
+			}
+			if fnId, ok := n.Fun.(*ast.Ident); ok && fnId.Name == "append" && isBuiltin(pass.TypesInfo, fnId) && len(n.Args) > 0 {
+				if dst, ok := n.Args[0].(*ast.Ident); ok {
+					if obj := objectOf(pass.TypesInfo, dst); obj != nil && unhinted[obj] {
+						pass.Reportf(n.Pos(), "append to %s grows an unhinted slice in //pinum:hotpath function %s; pre-size it with make(..., 0, cap), reuse a buffer, or annotate //pinum:alloc-ok with why growth is bounded", dst.Name, fn.Name.Name)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if captured := capturesEnclosing(pass, fn, n); captured != "" {
+				pass.Reportf(n.Pos(), "closure capturing %s in //pinum:hotpath function %s allocates; hoist the state or annotate //pinum:alloc-ok with why this is off the per-candidate path", captured, fn.Name.Name)
+			}
+			return false // don't descend: the literal runs in its own frame
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypesInfo.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "string concatenation in //pinum:hotpath function %s allocates; build into a reused []byte or annotate //pinum:alloc-ok with why this is cold", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// unhintedSlices collects the function's local slice variables declared
+// without a capacity hint: `var s []T`, `s := []T{...}`, and
+// `s := make([]T, n)` (two-arg make — appending past len(s) grows).
+// A slice initialized from any other expression (a reslice of a reused
+// buffer, a parameter, a field) is presumed pre-sized.
+func unhintedSlices(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+			return
+		}
+		switch rhs := rhs.(type) {
+		case nil:
+			out[obj] = true // var s []T
+		case *ast.CompositeLit:
+			out[obj] = true // s := []T{...}
+		case *ast.CallExpr:
+			if fnId, ok := rhs.Fun.(*ast.Ident); ok && fnId.Name == "make" &&
+				pass.TypesInfo.Uses[fnId] == nil && len(rhs.Args) == 2 {
+				out[obj] = true // s := make([]T, n) — no cap
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						mark(id, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, id := range vs.Names {
+						var rhs ast.Expr
+						if i < len(vs.Values) {
+							rhs = vs.Values[i]
+						}
+						mark(id, rhs)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturesEnclosing returns the name of a variable the literal captures
+// from the enclosing function, or "".
+func capturesEnclosing(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal.
+		if v.Pos() >= fn.Pos() && v.Pos() <= fn.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() <= lit.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}

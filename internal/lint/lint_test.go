@@ -1,0 +1,113 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/pinumdb/pinum/internal/lint"
+	"github.com/pinumdb/pinum/internal/lint/linttest"
+)
+
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"testdata"}, parts...)...)
+}
+
+// Each positive fixture seeds the exact bug class the analyzer exists to
+// catch; each ok fixture mirrors the real tree's idioms (and annotated
+// exceptions) and must produce no diagnostics at all.
+
+func TestDeterminismFlagsSeededCodecBugs(t *testing.T) {
+	linttest.Run(t, fixture("determinism", "flag"),
+		lint.PkgPath("internal/plancache"), lint.Determinism)
+}
+
+func TestDeterminismAllowsRealIdioms(t *testing.T) {
+	linttest.Run(t, fixture("determinism", "ok"),
+		lint.PkgPath("internal/plancache"), lint.Determinism)
+}
+
+func TestDeterminismIgnoresOutOfScopePackages(t *testing.T) {
+	linttest.Run(t, fixture("determinism", "outofscope"),
+		lint.PkgPath("cmd/pinum-bench"), lint.Determinism)
+}
+
+func TestSealedMutFlagsPostPublicationWrites(t *testing.T) {
+	linttest.Run(t, fixture("sealedmut", "flag"),
+		lint.PkgPath("internal/lintfixture"), lint.SealedMut)
+}
+
+func TestSealedMutAllowsCopiesAndJustifiedConstruction(t *testing.T) {
+	linttest.Run(t, fixture("sealedmut", "ok"),
+		lint.PkgPath("internal/lintfixture"), lint.SealedMut)
+}
+
+func TestCostArithFlagsOutOfPackageFormulas(t *testing.T) {
+	linttest.Run(t, fixture("costarith", "flag"),
+		lint.PkgPath("internal/serve"), lint.CostArith)
+}
+
+func TestCostArithAllowsNonCostMathAndPinnedMirrors(t *testing.T) {
+	linttest.Run(t, fixture("costarith", "ok"),
+		lint.PkgPath("internal/serve"), lint.CostArith)
+}
+
+func TestCostArithIgnoresTheOptimizerItself(t *testing.T) {
+	// The same seeded formulas are legal inside internal/optimizer, where
+	// both planners share arithmetic by construction.
+	loader := lint.NewLoader()
+	pkg, err := loader.LoadDir(fixture("costarith", "flag"), lint.PkgPath("internal/optimizer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkg, []*lint.Analyzer{lint.CostArith})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in optimizer scope: %s", d.Message)
+	}
+}
+
+func TestHotpathFlagsAllocPatterns(t *testing.T) {
+	linttest.Run(t, fixture("hotpath", "flag"),
+		lint.PkgPath("internal/optimizer"), lint.Hotpath)
+}
+
+func TestHotpathAllowsFastplanDiscipline(t *testing.T) {
+	linttest.Run(t, fixture("hotpath", "ok"),
+		lint.PkgPath("internal/optimizer"), lint.Hotpath)
+}
+
+func TestDirectiveCheckFlagsVocabularyMistakes(t *testing.T) {
+	linttest.Run(t, fixture("directive", "flag"),
+		lint.PkgPath("internal/lintfixture"), lint.DirectiveCheck)
+}
+
+func TestDirectiveCheckAllowsProperUse(t *testing.T) {
+	linttest.Run(t, fixture("directive", "ok"),
+		lint.PkgPath("internal/lintfixture"), lint.DirectiveCheck)
+}
+
+// TestRealTreeClean runs the full suite over the real tree, the same
+// check CI's lint step performs: every invariant violation is either
+// fixed or carries a justified directive.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree lint run is slow; covered by the CI lint step too")
+	}
+	loader := lint.NewLoader()
+	pkgs, err := loader.Load(filepath.Join("..", ".."), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, lint.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			t.Errorf("%s:%d: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package servefix seeds duplicated cost formulas in a cost-consumer
+// package shape: float arithmetic over cost-named operands that should
+// route through the optimizer's shared helpers.
+package servefix
+
+// weightedTotal re-implements the workload objective locally.
+func weightedTotal(weights, costs []float64) float64 {
+	total := 0.0
+	for i := range weights {
+		total += weights[i] * costs[i] // want "cost accumulation" "cost formulas must live"
+	}
+	return total
+}
+
+// discount owns a cost formula outside the optimizer — the seeded
+// out-of-package cost multiply.
+func discount(cost float64) float64 {
+	return cost * 0.9 // want "cost formulas must live"
+}
+
+// drift subtracts two costs into a new cost.
+func drift(newCost, oldCost float64) float64 {
+	return newCost - oldCost // want "cost formulas must live"
+}

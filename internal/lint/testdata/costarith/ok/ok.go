@@ -1,0 +1,21 @@
+// Package serveok holds the float arithmetic the costarith analyzer must
+// leave alone: non-cost operands, integer work on cost-adjacent names,
+// and the annotated, equivalence-pinned mirror.
+package serveok
+
+// ratio is float math on operands with no cost-like name: outside the
+// naming contract.
+func ratio(a, b float64) float64 { return a / b }
+
+// addCalls is integer arithmetic; the analyzer only watches floats.
+func addCalls(optimizerCalls, extra int) int { return optimizerCalls + extra }
+
+// mirrorTotal is the annotated mirror shape: justified, pinned elsewhere.
+func mirrorTotal(weights, costs []float64) float64 {
+	total := 0.0
+	for i := range weights {
+		//pinum:costarith-ok fixture mirror of the workload objective; the real one is pinned by the advisor equivalence suite
+		total += weights[i] * costs[i]
+	}
+	return total
+}

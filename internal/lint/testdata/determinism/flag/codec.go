@@ -1,0 +1,32 @@
+// Package codecfix seeds the determinism bugs the analyzer must catch in
+// a snapshot-codec shape: bytes that depend on map iteration order,
+// wall-clock reads, and randomized behaviour.
+package codecfix
+
+import (
+	"math/rand" // want "math/rand"
+	"time"
+)
+
+// encodePool writes the column pool in map iteration order: two encodes
+// of the same pool may produce different bytes — the seeded codec bug.
+func encodePool(pool map[string]uint32) []byte {
+	var out []byte
+	for col := range pool { // want "range over map"
+		out = append(out, col...)
+	}
+	return out
+}
+
+// stamp embeds a wall-clock read in a result.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// age reads the wall clock through time.Since.
+func age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since"
+}
+
+// jitter keeps the math/rand import in use.
+func jitter() float64 { return rand.Float64() }

@@ -1,0 +1,51 @@
+// Package codecok mirrors the real codec and cache idioms the
+// determinism analyzer must not flag: collect-keys-then-sort, annotated
+// order-insensitive folds, and annotated build-duration stats.
+package codecok
+
+import (
+	"sort"
+	"time"
+)
+
+// sortedCols is the blessed shape: collect the keys, sort, then use.
+func sortedCols(pool map[string]uint32) []string {
+	cols := make([]string, 0, len(pool))
+	for col := range pool {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// union is order-insensitive — the produced set does not depend on
+// iteration order — and says so.
+func union(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	//pinum:nondeterministic-ok set union: the result is a set, iteration order is never observable
+	for k := range a {
+		out[k] = true
+	}
+	//pinum:nondeterministic-ok set union: the result is a set, iteration order is never observable
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// timed mirrors Build's stats timing: wall clock feeding only a stat.
+func timed() time.Duration {
+	//pinum:nondeterministic-ok wall clock feeds only a duration stat, never a cost or plan
+	start := time.Now()
+	//pinum:nondeterministic-ok wall clock feeds only a duration stat, never a cost or plan
+	return time.Since(start)
+}
+
+// sliceRange is not a map: plain slice iteration is ordered.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

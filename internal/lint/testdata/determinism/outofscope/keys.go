@@ -1,0 +1,12 @@
+// Package outofscope exercises package scoping: the same unsorted map
+// range that is a bug in the codec is acceptable in a command, which is
+// not a result-affecting package.
+package outofscope
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+// Package dirfix seeds directive-vocabulary mistakes: a typo'd name and
+// a suppression without its mandatory justification.
+package dirfix
+
+//pinum:nondeterministic-okay set union // want "unknown directive"
+var a = 1
+
+/* want "requires a justification" */ //pinum:sealed-ok
+var b = 2

@@ -1,0 +1,15 @@
+// Package dirok uses the directive vocabulary correctly: markers need no
+// argument, suppressions carry a justification.
+package dirok
+
+//pinum:hotpath
+func hot() {}
+
+func collect(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	//pinum:nondeterministic-ok fixture: the caller sorts the result
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Package hotfix seeds the allocation patterns the hotpath analyzer
+// polices inside //pinum:hotpath functions.
+package hotfix
+
+import "fmt"
+
+//pinum:hotpath
+func describe(ids []int) string {
+	out := ""
+	for _, id := range ids {
+		out = out + fmt.Sprintf("#%d", id) // want "allocates per call" "string concatenation"
+	}
+	return out
+}
+
+//pinum:hotpath
+func collect(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "unhinted slice"
+	}
+	return out
+}
+
+//pinum:hotpath
+func total(xs []float64) float64 {
+	sum := 0.0
+	add := func() { // want "closure capturing"
+		for _, x := range xs {
+			sum += x
+		}
+	}
+	add()
+	return sum
+}

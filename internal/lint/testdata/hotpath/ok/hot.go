@@ -1,0 +1,45 @@
+// Package hotok mirrors the fast planner's allocation discipline —
+// hinted slices, reused buffers, cold-path error formatting — plus the
+// two escape hatches: unannotated functions and //pinum:alloc-ok.
+package hotok
+
+import "fmt"
+
+//pinum:hotpath
+func collectHinted(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//pinum:hotpath
+func reuse(buf []int, n int) []int {
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+//pinum:hotpath
+func checked(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("hotok: negative %d", n)
+	}
+	return n * 2, nil
+}
+
+// cold is unannotated: fmt is fine off the hot path.
+func cold(n int) string { return fmt.Sprintf("#%d", n) }
+
+//pinum:hotpath
+func annotatedClosure(xs []int) int {
+	n := 0
+	//pinum:alloc-ok fixture: one bounded closure per call, not per candidate
+	walk(func(i int) { n += xs[i] })
+	return n
+}
+
+func walk(f func(int)) {}

@@ -1,0 +1,30 @@
+// Package mutfix seeds post-publication writes to the shared-immutable
+// cache structures from a consumer package: each one is a data race
+// against the serving layer's lock-free concurrent readers.
+package mutfix
+
+import (
+	"github.com/pinumdb/pinum/internal/inum"
+	"github.com/pinumdb/pinum/internal/plancache"
+)
+
+// restamp mutates a sealed cache's stats from outside the constructors.
+func restamp(c *inum.Cache) {
+	c.Stats.Mem = c.MemStats() // want "shared immutable"
+}
+
+// tweak rewrites a cached plan's internal cost in place — the seeded
+// post-Seal write.
+func tweak(c *inum.Cache) {
+	c.Plans[0].Internal = 0 // want "shared immutable"
+}
+
+// drop truncates a loaded snapshot's entries.
+func drop(s *plancache.Snapshot) {
+	s.Queries[0].Entries = nil // want "shared immutable"
+}
+
+// bump increments a snapshot fingerprint in place.
+func bump(s *plancache.Snapshot) {
+	s.Fingerprint++ // want "shared immutable"
+}

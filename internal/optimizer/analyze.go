@@ -291,6 +291,7 @@ func (a *Analysis) IndexScanCost(rel int, ix *catalog.Index) indexScanFacts {
 		leadFiltered = true
 	}
 	indexOnly := true
+	//pinum:nondeterministic-ok order-insensitive conjunction: indexOnly is the same whichever needed column misses first
 	for col := range ri.Needed {
 		if !ix.HasColumn(col) {
 			indexOnly = false
@@ -331,6 +332,7 @@ func (a *Analysis) LookupCost(rel int, ix *catalog.Index, col string) float64 {
 	ri := &a.Rels[rel]
 	match := a.LookupRows(rel, col)
 	indexOnly := true
+	//pinum:nondeterministic-ok order-insensitive conjunction: indexOnly is the same whichever needed column misses first
 	for c := range ri.Needed {
 		if !ix.HasColumn(c) {
 			indexOnly = false

@@ -141,6 +141,8 @@ func newPlanCtx(a *Analysis, cfg *query.Config) *planCtx {
 // clause table. The buffers are reused across splits: callers consume them
 // before the next call. A clause crosses iff it has one endpoint in each
 // set, which is two bitset tests per clause.
+//
+//pinum:hotpath
 func (ctx *planCtx) crossClauses(s1, s2 RelSet) (fwd, rev []clauseRef) {
 	fwd, rev = ctx.bufFwd[:0], ctx.bufRev[:0]
 	for i := range ctx.clauses {
@@ -164,6 +166,8 @@ func (ctx *planCtx) crossClauses(s1, s2 RelSet) (fwd, rev []clauseRef) {
 // cheapest probing index: the answer depends only on (relation, column).
 // The minimisation replicates the reference loop exactly (first strictly
 // cheaper index wins), so the chosen index and cost are bit-identical.
+//
+//pinum:hotpath
 func (ctx *planCtx) lookup(a *Analysis, rel int, col string) *lookupMemo {
 	g := a.orderGID(query.ColRef{Rel: rel, Column: col})
 	m := &ctx.lookups[g]
@@ -255,6 +259,8 @@ func (ctx *planCtx) orderIDPacked(packed [2]uint64, order []query.ColRef) int32 
 // completes one relation at a time). Both usefulOrder's fast branch and
 // usefulOrderFast share this memo, so the invalidation protocol lives in
 // exactly one place.
+//
+//pinum:hotpath
 func (p *planner) usefulMemo(set RelSet, lead query.ColRef, g uint16) bool {
 	ctx := p.ctx
 	if ctx.usefulSet != set {
@@ -281,6 +287,8 @@ func (p *planner) usefulMemo(set RelSet, lead query.ColRef, g uint16) bool {
 // relation, leading column id); the id comes straight from the packed
 // order, so the memo costs two array reads per probe. It returns the
 // (possibly trimmed) order in both forms.
+//
+//pinum:hotpath
 func (p *planner) usefulOrderFast(set RelSet, order []query.ColRef, pack [2]uint64) ([]query.ColRef, [2]uint64) {
 	if len(order) == 0 {
 		return nil, [2]uint64{}
@@ -296,6 +304,8 @@ func (p *planner) usefulOrderFast(set RelSet, order []query.ColRef, pack [2]uint
 // the column through the analysis maps. Join candidates avoid this path
 // entirely (their children's packed leaves OR together); it runs only for
 // base-relation scans and the grouping planner's complete plans.
+//
+//pinum:hotpath
 func (p *planner) packLeaf(k *planKey, rel int, req LeafReq) {
 	if req.Mode == AccessAny {
 		return
@@ -314,6 +324,8 @@ func (p *planner) packLeaf(k *planKey, rel int, req LeafReq) {
 
 // pathKeyOf packs the key of an already-materialised path (base-relation
 // scans and the grouping planner's complete plans).
+//
+//pinum:hotpath
 func (p *planner) pathKeyOf(np *Path) planKey {
 	var k planKey
 	for v := uint64(np.Rels); v != 0; {
@@ -336,6 +348,8 @@ func (p *planner) keyOf(pt *Path) *planKey {
 // children's packed leaf combos OR together (their relation sets are
 // disjoint), the nested-loop probe adds its own byte, and the output order
 // pack and the children's arena keys were threaded through joinPaths.
+//
+//pinum:hotpath
 func (p *planner) candKeyOf(c *joinCand) planKey {
 	var k planKey
 	k.leaves = c.outerKey.leaves
@@ -368,6 +382,8 @@ func (p *planner) candKeyOf(c *joinCand) planKey {
 // insertKeyedPath dedups a materialised path by packed key (the fast
 // equivalent of the reference byKey insertion). Keys live in the planner's
 // keyed store until finishRelFast moves the kept ones into the arena.
+//
+//pinum:hotpath
 func (p *planner) insertKeyedPath(key planKey, np *Path) {
 	if i, ok := p.fastKey[key]; ok {
 		old := p.keyed[i]
@@ -392,6 +408,8 @@ func (p *planner) insertKeyedPath(key planKey, np *Path) {
 // addJoinFast screens a join candidate before any allocation: in ExportAll
 // mode against the packed-key slot, in normal mode against the retained
 // frontier. Only survivors are materialised.
+//
+//pinum:hotpath
 func (p *planner) addJoinFast(jr *joinRel, c *joinCand) {
 	p.res.Stats.PathsConsidered++
 	if p.opt.ExportAll {
@@ -444,6 +462,8 @@ func (p *planner) addJoinFast(jr *joinRel, c *joinCand) {
 // insertion — and with it every tie-break — matches the reference planner
 // exactly. Disconnection is detected up front by a graph reachability
 // check rather than discovered at the full mask.
+//
+//pinum:hotpath
 func (p *planner) planFast() (*joinRel, error) {
 	n := len(p.a.Rels)
 	rels := make([]*joinRel, 1<<uint(n))
@@ -527,6 +547,8 @@ func (p *planner) planFast() (*joinRel, error) {
 // sorted pair list reproduces, so results stay bit-identical either way.
 // rels holds the already-planned single-relation entries; planned counts
 // them.
+//
+//pinum:hotpath
 func (p *planner) planFastDense(rels []*joinRel, planned int) (*joinRel, error) {
 	n := len(p.a.Rels)
 	full := RelSet(1<<uint(n)) - 1
@@ -582,6 +604,8 @@ func (p *planner) planFastDense(rels []*joinRel, planned int) (*joinRel, error) 
 // The kept set is provably identical to the reference pass: domination is
 // checked against the same "metric ≤ candidate's" population, only
 // partitioned by order.
+//
+//pinum:hotpath
 func (p *planner) finishRelFast(jr *joinRel) {
 	paths, keys := p.keyed, p.keys
 	n := len(paths)
@@ -606,6 +630,7 @@ func (p *planner) finishRelFast(jr *joinRel) {
 	}
 	p.metricBuf, p.idxBuf, p.ordBuf = metric, idx, ords
 
+	//pinum:alloc-ok one closure per finishRelFast call (per relation, not per candidate); replacing it with an allocation-free sort is ROADMAP item 4
 	sort.SliceStable(idx, func(x, y int) bool { return metric[idx[x]] < metric[idx[y]] })
 
 	// Bucket by exact output order in ascending-metric order, so bucket
@@ -688,6 +713,8 @@ func lookupBits(v uint64) uint64 {
 // dominated slot is not a lookup (a lookup is only ever subsumed by an
 // identical lookup). Under PreciseNLJ the numeric probe counts of lookup
 // slots are compared through the interned coefficient lanes.
+//
+//pinum:hotpath
 func (p *planner) subsumesPacked(ka, kb *planKey) bool {
 	if ka.leaves[0]&^kb.leaves[0] != 0 || ka.leaves[1]&^kb.leaves[1] != 0 {
 		return false

@@ -73,6 +73,22 @@ type Snapshot struct {
 	Queries []QueryPlans
 }
 
+// NewSnapshot assembles a snapshot from built caches (tree-backed or
+// slim), in the given order, under the given environment fingerprint.
+// It is the only supported way to build a Snapshot for Save/Encode:
+// Snapshot and its QueryPlans/Entry rows are shared immutable once
+// handed out, so construction stays inside this package.
+func NewSnapshot(fingerprint uint64, caches []*inum.Cache) *Snapshot {
+	snap := &Snapshot{
+		Fingerprint: fingerprint,
+		Queries:     make([]QueryPlans, 0, len(caches)),
+	}
+	for _, c := range caches {
+		snap.Queries = append(snap.Queries, FromCache(c))
+	}
+	return snap
+}
+
 // FromCache extracts a query's slim plan representation from a built
 // cache (tree-backed or already slim — only the decomposition is read).
 func FromCache(c *inum.Cache) QueryPlans {

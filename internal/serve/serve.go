@@ -130,6 +130,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: base cost for %s: %w", cfg.Queries[i].Name, err)
 		}
 		s.base[i] = cost
+		//pinum:costarith-ok workload objective Σ wᵢ·cᵢ mirroring advisor.workloadCost; pinned by TestWhatIfMatchesInProcess
 		s.baseTotal += s.weights[i] * cost
 	}
 
@@ -305,6 +306,7 @@ func (s *Server) WhatIf(req *WhatIfRequest) (*WhatIfResponse, error) {
 			return nil, fmt.Errorf("pricing %s: %w", s.cfg.Queries[i].Name, errs[i])
 		}
 		resp.Queries[i] = QueryCost{Name: s.cfg.Queries[i].Name, Base: s.base[i], Cost: costs[i]}
+		//pinum:costarith-ok workload objective Σ wᵢ·cᵢ mirroring advisor.workloadCost; pinned by TestWhatIfMatchesInProcess
 		resp.Total += s.weights[i] * costs[i]
 	}
 	if resp.BaseTotal > 0 {
@@ -614,11 +616,7 @@ func LoadOrBuild(cat *catalog.Catalog, st *stats.Store, queries []*query.Query,
 		return nil, "", err
 	}
 	if snapshotPath != "" {
-		snap := &plancache.Snapshot{Fingerprint: fp}
-		for _, c := range caches {
-			snap.Queries = append(snap.Queries, plancache.FromCache(c))
-		}
-		if err := plancache.Save(snapshotPath, snap); err != nil {
+		if err := plancache.Save(snapshotPath, plancache.NewSnapshot(fp, caches)); err != nil {
 			return nil, "", err
 		}
 	}

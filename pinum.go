@@ -236,11 +236,7 @@ func (db *Database) CacheFingerprint() uint64 {
 // catalog, statistics and cost parameters. Both tree-backed and slim
 // caches can be saved; only the INUM decomposition is stored either way.
 func (db *Database) SaveCaches(path string, caches []*PlanCache) error {
-	snap := &plancache.Snapshot{Fingerprint: db.CacheFingerprint()}
-	for _, c := range caches {
-		snap.Queries = append(snap.Queries, plancache.FromCache(c))
-	}
-	return plancache.Save(path, snap)
+	return plancache.Save(path, plancache.NewSnapshot(db.CacheFingerprint(), caches))
 }
 
 // LoadCaches reads a snapshot and reconstructs one slim plan cache per
