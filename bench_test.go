@@ -326,10 +326,19 @@ func BenchmarkOptimizeExportAll(b *testing.B) {
 // connected, so connectivity-awareness saves the least).
 func BenchmarkOptimizeExportAllShapes(b *testing.B) {
 	opt := optimizer.Options{EnableNestLoop: true, ExportAll: true}
-	for _, spec := range []workload.ShapeSpec{
-		{Shape: workload.ShapeChain, Rels: 7, Seed: 42},
-		{Shape: workload.ShapeSnowflake, Rels: 7, Seed: 42},
+	for _, shape := range []struct {
+		label string
+		spec  workload.ShapeSpec
+	}{
+		{"chain", workload.ShapeSpec{Shape: workload.ShapeChain, Rels: 7, Seed: 42}},
+		{"snowflake", workload.ShapeSpec{Shape: workload.ShapeSnowflake, Rels: 7, Seed: 42}},
+		// clique-dense exercises the retained-path bookkeeping (the
+		// §V-D subsumption frontier) rather than the DP walk: every
+		// relation subset is connected, so DPccp saves nothing and the
+		// per-relation path population is maximal.
+		{"clique-dense", workload.ShapeSpec{Shape: workload.ShapeClique, Rels: 5, Density: 1, Seed: 42}},
 	} {
+		spec := shape.spec
 		cat, q, err := workload.ShapeQuery(spec)
 		if err != nil {
 			b.Fatal(err)
@@ -347,7 +356,7 @@ func BenchmarkOptimizeExportAllShapes(b *testing.B) {
 			{"reference", optimizer.OptimizeReference},
 		} {
 			mode := mode
-			b.Run(fmt.Sprintf("shape=%s/tables=%d/%s", spec.Shape, len(q.Rels), mode.name), func(b *testing.B) {
+			b.Run(fmt.Sprintf("shape=%s/tables=%d/%s", shape.label, len(q.Rels), mode.name), func(b *testing.B) {
 				b.ReportAllocs()
 				var states int
 				for i := 0; i < b.N; i++ {
@@ -360,6 +369,69 @@ func BenchmarkOptimizeExportAllShapes(b *testing.B) {
 				b.ReportMetric(float64(states), "dp-states")
 			})
 		}
+	}
+}
+
+// BenchmarkOptimizeExportAllWide measures the wide-key fast-path lane:
+// queries outside the packed planKey invariants (>16 relations, >63
+// interesting orders per relation) that previously fell back to the ~4x
+// slower reference sweep. The 17-relation wide chain indexes only its head
+// relations — ExportAll's retained set is an antichain over per-relation
+// leaf choices, so indexing every relation would make it exponential in
+// the chain length in any planner — and runs fast-only (the reference
+// sweep caps at 16 relations); wide-orders stays within the reference's
+// reach and benchmarks both planners.
+func BenchmarkOptimizeExportAllWide(b *testing.B) {
+	opt := optimizer.Options{EnableNestLoop: true, ExportAll: true}
+
+	bench := func(name string, a *optimizer.Analysis, cfg *query.Config,
+		call func(*optimizer.Analysis, *query.Config, optimizer.Options) (*optimizer.Result, error)) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				res, err := call(a, cfg, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = res.Stats.EnumStates
+			}
+			b.ReportMetric(float64(states), "dp-states")
+		})
+	}
+
+	{
+		cat, q, err := workload.ShapeQuery(workload.ShapeSpec{Shape: workload.ShapeWideChain, Rels: 17, Seed: 93})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := optimizer.NewAnalysis(q, nil, optimizer.DefaultCostParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := workload.ShapeAllOrdersConfig(cat, q)
+		cfg := &query.Config{}
+		head := map[string]bool{q.Rels[0].Table.Name: true, q.Rels[1].Table.Name: true, q.Rels[2].Table.Name: true}
+		for _, ix := range full.Indexes {
+			if head[ix.Table] {
+				cfg.Indexes = append(cfg.Indexes, ix)
+			}
+		}
+		bench(fmt.Sprintf("shape=wide-chain/tables=%d/fast", len(q.Rels)), a, cfg, optimizer.Optimize)
+	}
+
+	{
+		cat, q, err := workload.ShapeQuery(workload.ShapeSpec{Shape: workload.ShapeWideOrders, Seed: 91})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := optimizer.NewAnalysis(q, nil, optimizer.DefaultCostParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := workload.ShapeAllOrdersConfig(cat, q)
+		bench(fmt.Sprintf("shape=wide-orders/tables=%d/fast", len(q.Rels)), a, cfg, optimizer.Optimize)
+		bench(fmt.Sprintf("shape=wide-orders/tables=%d/reference", len(q.Rels)), a, cfg, optimizer.OptimizeReference)
 	}
 }
 

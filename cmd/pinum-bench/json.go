@@ -132,11 +132,21 @@ func runJSONBench(label string, seed int64) (string, error) {
 
 	// Shape workloads: the chain and snowflake ExportAll calls the
 	// connectivity-aware enumeration (DPccp) targets — their join graphs
-	// are where the dense sweep wasted the most states.
-	for _, spec := range []workload.ShapeSpec{
-		{Shape: workload.ShapeChain, Rels: 7, Seed: seed},
-		{Shape: workload.ShapeSnowflake, Rels: 7, Seed: seed},
+	// are where the dense sweep wasted the most states. The dense clique
+	// and wide-orders shapes stress the other two planner layers: the
+	// retained-path dominance frontier (every subset connected, maximal
+	// per-relation path population) and the wide-key fast-path lane
+	// (interesting-order count past the packed planKey's 63-order cap).
+	for _, shape := range []struct {
+		label string
+		spec  workload.ShapeSpec
+	}{
+		{"chain", workload.ShapeSpec{Shape: workload.ShapeChain, Rels: 7, Seed: seed}},
+		{"snowflake", workload.ShapeSpec{Shape: workload.ShapeSnowflake, Rels: 7, Seed: seed}},
+		{"clique-dense", workload.ShapeSpec{Shape: workload.ShapeClique, Rels: 5, Density: 1, Seed: seed}},
+		{"wide-orders", workload.ShapeSpec{Shape: workload.ShapeWideOrders, Seed: seed}},
 	} {
+		spec := shape.spec
 		cat, q, err := workload.ShapeQuery(spec)
 		if err != nil {
 			return "", err
@@ -155,7 +165,7 @@ func runJSONBench(label string, seed int64) (string, error) {
 			{"reference", optimizer.OptimizeReference},
 		} {
 			call := mode.call
-			measure(fmt.Sprintf("OptimizeExportAll/shape=%s/tables=%d/%s", spec.Shape, len(q.Rels), mode.name), func(b *testing.B) {
+			measure(fmt.Sprintf("OptimizeExportAll/shape=%s/tables=%d/%s", shape.label, len(q.Rels), mode.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := call(a, cfg, opt); err != nil {
 						b.Fatal(err)
@@ -163,6 +173,38 @@ func runJSONBench(label string, seed int64) (string, error) {
 				}
 			})
 		}
+	}
+
+	// The 17-relation wide chain runs past the reference sweep's
+	// 16-relation cap, so it measures the wide-key fast path alone. Only
+	// the chain head is indexed: ExportAll's retained set is an antichain
+	// over per-relation leaf choices, and indexing every relation would
+	// make it exponential in the chain length in any planner.
+	{
+		cat, q, err := workload.ShapeQuery(workload.ShapeSpec{Shape: workload.ShapeWideChain, Rels: 17, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		a, err := optimizer.NewAnalysis(q, nil, optimizer.DefaultCostParams())
+		if err != nil {
+			return "", err
+		}
+		full := workload.ShapeAllOrdersConfig(cat, q)
+		cfg := &query.Config{}
+		head := map[string]bool{q.Rels[0].Table.Name: true, q.Rels[1].Table.Name: true, q.Rels[2].Table.Name: true}
+		for _, ix := range full.Indexes {
+			if head[ix.Table] {
+				cfg.Indexes = append(cfg.Indexes, ix)
+			}
+		}
+		opt := optimizer.Options{EnableNestLoop: true, ExportAll: true}
+		measure(fmt.Sprintf("OptimizeExportAll/shape=wide-chain/tables=%d/fast", len(q.Rels)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := optimizer.Optimize(a, cfg, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 
 	// The whole-workload batch build, serial and with all cores.

@@ -168,7 +168,8 @@ func (qs *queryState) costWith(extra *catalog.Index) float64 {
 		cost := ps.cp.Internal
 		ok := true
 		ri := 0
-		for rel, req := range ps.cp.Leaves {
+		for rel := range ps.leafBest {
+			req := ps.cp.Leaf(rel)
 			l := ps.leafBest[rel]
 			if ri < len(rels) && rels[ri] == rel {
 				ri++
@@ -269,7 +270,7 @@ func (e *Engine) Apply(pick *catalog.Index) {
 		for pi := range qs.plans {
 			ps := &qs.plans[pi]
 			for _, rel := range rels {
-				req := ps.cp.Leaves[rel]
+				req := ps.cp.Leaf(rel)
 				if c, ok := qs.cache.IndexLeafCost(rel, req, pick); ok && c < ps.leafBest[rel] {
 					ps.leafBest[rel] = c
 				}

@@ -415,6 +415,9 @@ func (r *E3Result) String() string {
 			row.PinumPlanner.PathsConsidered, row.PinumPlanner.PathsPruned, row.PinumPlanner.ClauseLookups)
 		fmt.Fprintf(&b, "         enumeration: %d DP states visited, %d disconnected masks skipped\n",
 			row.PinumPlanner.EnumStates, row.PinumPlanner.MasksSkipped)
+		fmt.Fprintf(&b, "         frontier: INUM %d inserts / %d dominated on arrival / %d evicted, PINUM %d / %d / %d\n",
+			row.InumPlanner.FrontierInserts, row.InumPlanner.FrontierDrops, row.InumPlanner.FrontierEvictions,
+			row.PinumPlanner.FrontierInserts, row.PinumPlanner.FrontierDrops, row.PinumPlanner.FrontierEvictions)
 		fmt.Fprintf(&b, "         cache memory: tree %s | slim %s | %.1fx smaller\n",
 			row.PinumMem, row.SlimMem, row.MemSaving())
 		if row.AccessErrors > 0 {
@@ -693,8 +696,15 @@ type E6Row struct {
 	MasksSkipped int
 	// Exported is the exported plan count (identical for both planners).
 	Exported int
-	FastTime time.Duration
-	RefTime  time.Duration
+	// FrontierInserts / FrontierDrops / FrontierEvictions are the fast
+	// planner's retained-path frontier counters for the call (the reference
+	// planner's simulated frontier reports the same values, pinned by the
+	// equivalence suite).
+	FrontierInserts   int
+	FrontierDrops     int
+	FrontierEvictions int
+	FastTime          time.Duration
+	RefTime           time.Duration
 	// TreeMem and SlimMem compare the retained memory of a plan cache
 	// filled from this call's exported set with and without path trees
 	// (the slim-cache refactor's per-shape saving).
@@ -724,6 +734,15 @@ func (r *E6Row) MemSaving() float64 {
 		return 0
 	}
 	return float64(r.TreeMem.TotalBytes()) / float64(r.SlimMem.TotalBytes())
+}
+
+// EntrySaving is the tree-vs-packed-slim per-entry byte reduction factor
+// (the packed-leaf arena refactor's saving, net of path trees).
+func (r *E6Row) EntrySaving() float64 {
+	if r.SlimMem.EntryBytes <= 0 {
+		return 0
+	}
+	return float64(r.TreeMem.EntryBytes) / float64(r.SlimMem.EntryBytes)
 }
 
 // E6Result is the enumeration experiment's table.
@@ -795,12 +814,15 @@ func RunE6(env *Env) (*E6Result, error) {
 			Joins:        len(q.Joins),
 			FastStates:   fast.Stats.EnumStates,
 			DenseStates:  ref.Stats.EnumStates,
-			MasksSkipped: fast.Stats.MasksSkipped,
-			Exported:     len(fast.Exported),
-			FastTime:     fastTime,
-			RefTime:      refTime,
-			TreeMem:      tree.MemStats(),
-			SlimMem:      slim.MemStats(),
+			MasksSkipped:      fast.Stats.MasksSkipped,
+			Exported:          len(fast.Exported),
+			FrontierInserts:   fast.Stats.FrontierInserts,
+			FrontierDrops:     fast.Stats.FrontierDrops,
+			FrontierEvictions: fast.Stats.FrontierEvictions,
+			FastTime:          fastTime,
+			RefTime:           refTime,
+			TreeMem:           tree.MemStats(),
+			SlimMem:           slim.MemStats(),
 		})
 	}
 	return res, nil
@@ -840,6 +862,10 @@ func (r *E6Result) String() string {
 			row.Speedup(),
 			float64(row.TreeMem.TotalBytes())/1024, float64(row.SlimMem.TotalBytes())/1024,
 			row.MemSaving())
+		fmt.Fprintf(&b, "             frontier %d inserts / %d dominated on arrival / %d evicted;"+
+			" entry bytes tree %d vs packed slim %d (%.1fx)\n",
+			row.FrontierInserts, row.FrontierDrops, row.FrontierEvictions,
+			row.TreeMem.EntryBytes, row.SlimMem.EntryBytes, row.EntrySaving())
 	}
 	b.WriteString("  (dense sweep: every submask split of every relation subset; DPccp: connected\n")
 	b.WriteString("   subgraph/complement pairs only — results are bit-identical either way)\n")

@@ -31,15 +31,15 @@ import (
 )
 
 // CachedPlan is one entry of the plan cache: an internal plan plus its leaf
-// access requirements.
+// access requirements. The requirements live in the owning cache's packed
+// leaf arenas (two bytes of interned identity plus the float64 coefficient
+// per relation — see optimizer.PackLeaf) rather than as a []LeafReq per
+// entry; the entry itself holds only the arena ordinal. Leaf reconstructs
+// a LeafReq on demand without allocating.
 type CachedPlan struct {
-	// Combo is the interesting order combination the plan requires.
-	Combo query.OrderCombo
 	// Internal is the access-method-independent cost (joins, sorts,
 	// aggregation).
 	Internal float64
-	// Leaves holds one access requirement per query relation.
-	Leaves []optimizer.LeafReq
 	// NLJ marks plans containing nested-loop joins; INUM tracks them
 	// separately because their cost is only piecewise linear in access
 	// costs.
@@ -53,11 +53,53 @@ type CachedPlan struct {
 	// and dropping it releases the DP planner's retained trees — the
 	// dominant share of cache memory on wide ExportAll queries.
 	Path *optimizer.Path
+
+	// c is the owning cache; idx is this entry's ordinal, striding into
+	// the cache's packed leaf arenas (every entry stores exactly one leaf
+	// per query relation).
+	c   *Cache
+	idx int32
+}
+
+// NumRels is the number of leaf requirements (one per query relation).
+func (cp *CachedPlan) NumRels() int { return len(cp.c.A.Q.Rels) }
+
+// Leaf reconstructs the plan's requirement on one relation from the packed
+// arenas. It allocates nothing: the column string is the analysis's
+// interned instance.
+//
+//pinum:hotpath
+func (cp *CachedPlan) Leaf(rel int) optimizer.LeafReq {
+	c := cp.c
+	i := int(cp.idx)*len(c.A.Q.Rels) + rel
+	return c.A.UnpackLeaf(rel, c.leafPk[i], c.leafCoef[i])
+}
+
+// Combo derives the interesting order combination the plan requires (one
+// entry per relation, "" for Φ). It allocates; hot paths use Leaf.
+func (cp *CachedPlan) Combo() query.OrderCombo {
+	n := cp.NumRels()
+	combo := make(query.OrderCombo, n)
+	for rel := 0; rel < n; rel++ {
+		if req := cp.Leaf(rel); req.Mode != optimizer.AccessAny {
+			combo[rel] = req.Col
+		}
+	}
+	return combo
+}
+
+// PackedLeaves returns views of the entry's packed requirement row: the
+// interned identities and the coefficients, one per relation. Shared with
+// the snapshot codec; callers must not mutate them.
+func (cp *CachedPlan) PackedLeaves() ([]uint16, []float64) {
+	n := len(cp.c.A.Q.Rels)
+	lo := int(cp.idx) * n
+	return cp.c.leafPk[lo : lo+n : lo+n], cp.c.leafCoef[lo : lo+n : lo+n]
 }
 
 // String renders the plan entry compactly.
 func (cp *CachedPlan) String() string {
-	return fmt.Sprintf("%s internal=%.2f nlj=%v", cp.Combo, cp.Internal, cp.NLJ)
+	return fmt.Sprintf("%s internal=%.2f nlj=%v", cp.Combo(), cp.Internal, cp.NLJ)
 }
 
 // BuildStats records what cache construction cost.
@@ -125,6 +167,14 @@ type Cache struct {
 	// time, retaining only the INUM decomposition Cost consumes.
 	slim bool
 
+	// Packed leaf arenas: entry idx's requirement on relation rel lives at
+	// index idx×len(Q.Rels)+rel — two bytes of interned (mode, order id)
+	// identity and the float64 coefficient. Storing rows here instead of a
+	// []LeafReq per entry is what makes slim entries slim (~3x fewer entry
+	// bytes); MemStats measures it.
+	leafPk   []uint16
+	leafCoef []float64
+
 	sigs map[string]bool
 
 	// Leaf access costs depend only on (relation, requirement, index), not
@@ -191,42 +241,58 @@ func (c *Cache) AddPath(p *optimizer.Path) bool {
 		c.sigs[sig] = true
 	}
 	s := optimizer.Summarize(p, len(c.Q.Rels))
-	cp := &CachedPlan{
-		Combo:    s.Combo,
-		Internal: s.Internal,
-		Leaves:   s.Leaves,
-		NLJ:      s.NLJ,
+	cp := c.appendEntry(s.Internal, s.NLJ)
+	for rel, req := range s.Leaves {
+		pk, err := c.A.PackLeaf(rel, req)
+		if err != nil {
+			// Planner-produced requirements always intern; anything else is
+			// a programming error, not a recoverable input.
+			panic(err)
+		}
+		c.leafPk = append(c.leafPk, pk)
+		c.leafCoef = append(c.leafCoef, req.Coef)
 	}
 	if !c.slim {
 		cp.Sig = sig
 		cp.Path = p
 	}
-	c.Plans = append(c.Plans, cp)
 	c.Stats.PlansCached++
 	return true
 }
 
-// AddSlim appends one slim entry from its stored decomposition — the
-// snapshot decode path (internal/plancache), where dedup already happened
-// at original construction time and no path tree exists. The combo and
-// NLJ flag are re-derived from the leaves exactly as Summarize derives
-// them from a complete plan's requirements.
-func (c *Cache) AddSlim(internal float64, leaves []optimizer.LeafReq) *CachedPlan {
-	combo := make(query.OrderCombo, len(leaves))
+// appendEntry allocates the next entry and its arena row ordinal.
+func (c *Cache) appendEntry(internal float64, nlj bool) *CachedPlan {
+	cp := &CachedPlan{Internal: internal, NLJ: nlj, c: c, idx: int32(len(c.Plans))}
+	c.Plans = append(c.Plans, cp)
+	return cp
+}
+
+// AddSlim appends one slim entry from its stored packed decomposition —
+// the snapshot decode path (internal/plancache), where dedup already
+// happened at original construction time and no path tree exists. Each
+// packed leaf is validated against the analysis's interning (the snapshot
+// may be foreign bytes); the NLJ flag is re-derived from the packed modes
+// exactly as Summarize derives it from a complete plan's requirements.
+func (c *Cache) AddSlim(internal float64, packed []uint16, coefs []float64) (*CachedPlan, error) {
+	if len(packed) != len(c.Q.Rels) || len(coefs) != len(c.Q.Rels) {
+		return nil, fmt.Errorf("inum: slim entry with %d packed leaves and %d coefficients for %d relations",
+			len(packed), len(coefs), len(c.Q.Rels))
+	}
 	nlj := false
-	for rel, req := range leaves {
-		if req.Mode != optimizer.AccessAny {
-			combo[rel] = req.Col
+	for rel, pk := range packed {
+		if err := c.A.CheckPackedLeaf(rel, pk); err != nil {
+			return nil, err
 		}
-		if req.Mode == optimizer.AccessLookup {
+		if optimizer.PackedNLJ(pk) {
 			nlj = true
 		}
 	}
-	cp := &CachedPlan{Combo: combo, Internal: internal, Leaves: leaves, NLJ: nlj}
-	c.Plans = append(c.Plans, cp)
+	cp := c.appendEntry(internal, nlj)
+	c.leafPk = append(c.leafPk, packed...)
+	c.leafCoef = append(c.leafCoef, coefs...)
 	c.Stats.PlansSeen++
 	c.Stats.PlansCached++
-	return cp
+	return cp, nil
 }
 
 // Seal marks construction finished: the signature dedup map is dropped so
@@ -242,11 +308,11 @@ func (c *Cache) Seal() {
 // entries pin (shared DP subtrees counted once).
 func (c *Cache) MemStats() MemStats {
 	m := MemStats{Entries: len(c.Plans)}
+	m.EntryBytes += int64(cap(c.leafPk)) * 2
+	m.EntryBytes += int64(cap(c.leafCoef)) * 8
 	seen := make(map[*optimizer.Path]bool)
 	for _, cp := range c.Plans {
 		m.EntryBytes += int64(unsafe.Sizeof(*cp))
-		m.EntryBytes += int64(cap(cp.Leaves)) * int64(unsafe.Sizeof(optimizer.LeafReq{}))
-		m.EntryBytes += int64(cap(cp.Combo)) * 16 // string headers; contents are shared column names
 		m.EntryBytes += int64(len(cp.Sig))
 		nodes, bytes := cp.Path.Footprint(seen)
 		m.RetainedPathNodes += nodes
@@ -265,10 +331,12 @@ func (c *Cache) MemStats() MemStats {
 func (c *Cache) Cost(cfg *query.Config) (float64, *CachedPlan, error) {
 	best := math.Inf(1)
 	var bestPlan *CachedPlan
+	n := len(c.Q.Rels)
 	for _, cp := range c.Plans {
 		cost := cp.Internal
 		ok := true
-		for rel, req := range cp.Leaves {
+		for rel := 0; rel < n; rel++ {
+			req := cp.Leaf(rel)
 			a, applicable := c.accessCost(rel, req, cfg)
 			if !applicable {
 				ok = false
@@ -342,9 +410,10 @@ func (c *Cache) SeqScanCost(rel int) float64 {
 // LeafCoster minimisation Cost itself uses, the resulting plan totals are
 // bit-identical to pricing the equivalent configuration from scratch.
 func (c *Cache) BaseLeafCosts(cp *CachedPlan) []float64 {
-	out := make([]float64, len(cp.Leaves))
-	for rel, req := range cp.Leaves {
-		cost, ok := optimizer.BaseLeafCost(c, rel, req)
+	n := cp.NumRels()
+	out := make([]float64, n)
+	for rel := 0; rel < n; rel++ {
+		cost, ok := optimizer.BaseLeafCost(c, rel, cp.Leaf(rel))
 		if !ok {
 			cost = math.Inf(1)
 		}
@@ -358,7 +427,7 @@ func (c *Cache) BaseLeafCosts(cp *CachedPlan) []float64 {
 func (c *Cache) UniqueCombos() int {
 	seen := make(map[string]bool)
 	for _, cp := range c.Plans {
-		seen[cp.Combo.Key()] = true
+		seen[cp.Combo().Key()] = true
 	}
 	return len(seen)
 }

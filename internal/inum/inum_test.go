@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"unsafe"
 	"testing"
 
 	"github.com/pinumdb/pinum/internal/catalog"
@@ -368,10 +369,11 @@ func TestBaseLeafCostsMatchEmptyConfig(t *testing.T) {
 	sawInf := false
 	for _, cp := range c.Plans {
 		base := c.BaseLeafCosts(cp)
-		if len(base) != len(cp.Leaves) {
-			t.Fatalf("plan %s: %d base costs for %d leaves", cp.Sig, len(base), len(cp.Leaves))
+		if len(base) != cp.NumRels() {
+			t.Fatalf("plan %s: %d base costs for %d leaves", cp.Sig, len(base), cp.NumRels())
 		}
-		for rel, req := range cp.Leaves {
+		for rel := 0; rel < cp.NumRels(); rel++ {
+			req := cp.Leaf(rel)
 			want, ok := optimizer.LeafAccessCost(c, rel, req, empty)
 			if !ok {
 				if !math.IsInf(base[rel], 1) {
@@ -387,5 +389,46 @@ func TestBaseLeafCostsMatchEmptyConfig(t *testing.T) {
 	}
 	if !sawInf {
 		t.Error("no ordered/lookup leaf exercised the +Inf snapshot path")
+	}
+}
+
+// TestPackedEntryBytesHalved pins the packed slim-entry acceptance
+// criterion: storing leaf requirements in the planner's interned byte form
+// (two identity bytes + float64 coefficient per relation, in cache-level
+// arenas) must cut a slim cache's MemStats.EntryBytes at least 2x against
+// the representation it replaced — a []LeafReq (mode word, string header,
+// coefficient) plus a stored OrderCombo per entry.
+func TestPackedEntryBytesHalved(t *testing.T) {
+	for _, qi := range []int{0, 4, 9} { // 2-, 4- and 7-relation queries
+		s, a := setup(t, qi)
+		ws := whatif.NewSession(s.Catalog)
+		c := NewSlimCache(a)
+		for _, oc := range a.Q.EnumerateCombos() {
+			cfg, err := CoveringConfig(a, ws, oc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, nlj := range []bool{false, true} {
+				res, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: nlj})
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.AddPath(res.Best)
+			}
+		}
+		c.Seal()
+		got := c.MemStats().EntryBytes
+		// What the pre-packing MemStats accounting charged for the same
+		// entries: an 88-byte CachedPlan (combo + leaves slice headers,
+		// internal, NLJ, sig header, path pointer) plus a LeafReq and a
+		// combo string header per relation (slim entries carry no Sig).
+		perRel := int64(unsafe.Sizeof(optimizer.LeafReq{})) + 16
+		unpacked := int64(len(c.Plans)) * (88 + int64(len(c.Q.Rels))*perRel)
+		if got*2 > unpacked {
+			t.Errorf("query %d: packed entries use %d bytes, unpacked form %d — less than a 2x saving",
+				qi, got, unpacked)
+		}
+		t.Logf("query %d (%d rels): %d plans, entry bytes %d packed vs %d unpacked (%.1fx)",
+			qi, len(c.Q.Rels), len(c.Plans), got, unpacked, float64(unpacked)/float64(got))
 	}
 }

@@ -47,17 +47,21 @@ type Analysis struct {
 	rowsCache map[RelSet]float64
 
 	// Interesting-order interning, built once per analysis: the fast
-	// planner packs leaf requirements and pathkeys into fixed-size
-	// comparable keys using these small integer ids (see fastplan.go).
-	// ordIDs maps each relation's interesting-order columns to 1-based
-	// ids (≤63, so mode+id pack into one byte); ordBase offsets them into
-	// a dense global id space shared by all relations; ordTotal is the
-	// highest global id. fastPlan reports whether the query fits the
-	// packing invariants — Optimize falls back to the reference planner
-	// when it does not.
-	ordIDs   []map[string]uint8
+	// planner identifies leaf requirements and pathkeys through these
+	// 1-based per-relation ids; ordBase offsets them into a dense global
+	// id space shared by all relations; ordTotal is the highest global
+	// id. packed reports whether the query additionally fits the
+	// fixed-size planKey invariants (≤16 relations, ≤63 interesting
+	// orders per relation, grouping/ordering ≤8 columns) — inside them
+	// ids pack into planKey bytes, outside them the fast planner spills
+	// plan identities to the variable-width string-key lane
+	// (frontier.go). fastPlan is false only past the planner's hard
+	// capacity (relations beyond RelSet's 64 bits, or a global order id
+	// space overflowing 16 bits), where Optimize errors out.
+	ordIDs   []map[string]uint16
 	ordBase  []uint16
 	ordTotal int
+	packed   bool
 	fastPlan bool
 
 	// Lazily-built connectivity-aware enumeration state, shared by every
@@ -81,14 +85,16 @@ type Analysis struct {
 // group-by and order-by columns all are, by construction), so the lookup
 // never misses on planner inputs.
 func (a *Analysis) orderGID(c query.ColRef) uint16 {
-	return a.ordBase[c.Rel] + uint16(a.ordIDs[c.Rel][c.Column])
+	return a.ordBase[c.Rel] + a.ordIDs[c.Rel][c.Column]
 }
 
 // FastPlannable reports whether Optimize will use the fast planner for
-// this analysis. It is false only for queries outside the packed-key
-// capacity invariants (over 16 relations, over 63 interesting orders on
-// one relation, or over 8 grouping/ordering columns), where Optimize falls
-// back to the reference planner.
+// this analysis. Queries inside the packed-key invariants (≤16 relations,
+// ≤63 interesting orders per relation, grouping/ordering ≤8 columns) run
+// the packed fixed-size key lane; wider queries run the same fast planner
+// through the variable-width string-key lane. It is false only past the
+// planner's hard capacity (over 64 relations, or a global interned-order
+// space overflowing 16 bits), where Optimize returns an error.
 func (a *Analysis) FastPlannable() bool { return a.fastPlan }
 
 // NewAnalysis derives the planning state for q. The statistics store may be
@@ -137,29 +143,32 @@ func NewAnalysis(q *query.Query, st *stats.Store, params CostParams) (*Analysis,
 		a.JoinSel = append(a.JoinSel, a.joinSelectivity(j))
 	}
 
-	// Intern the interesting orders for the fast planner's packed keys.
-	a.ordIDs = make([]map[string]uint8, len(a.Rels))
+	// Intern the interesting orders for the fast planner. Every order is
+	// interned regardless of width — the lookup and usefulness memos key
+	// on global ids in both lanes; packed only decides whether plan keys
+	// fit the fixed-size planKey or spill to the string-key lane.
+	a.ordIDs = make([]map[string]uint16, len(a.Rels))
 	a.ordBase = make([]uint16, len(a.Rels))
-	fast := len(a.Rels) <= 16 && len(q.GroupBy) <= 8 && len(q.OrderBy) <= 8
+	packed := len(a.Rels) <= 16 && len(q.GroupBy) <= 8 && len(q.OrderBy) <= 8
 	total := 0
 	for i := range a.Rels {
 		cols := a.Rels[i].Interesting
 		if len(cols) > 63 {
-			fast = false
+			packed = false
 		}
-		m := make(map[string]uint8, len(cols))
+		m := make(map[string]uint16, len(cols))
 		for k, col := range cols {
-			if k >= 63 {
-				break // beyond packing capacity; fast is already false
-			}
-			m[col] = uint8(k + 1)
+			m[col] = uint16(k + 1)
 		}
 		a.ordIDs[i] = m
 		a.ordBase[i] = uint16(total)
 		total += len(m)
 	}
 	a.ordTotal = total
-	a.fastPlan = fast
+	a.packed = packed
+	// The 16-bit global id space bounds both lanes (clause-order packs and
+	// the memo tables index by gid); RelSet bounds the relation count.
+	a.fastPlan = len(a.Rels) <= 64 && total < math.MaxUint16
 	return a, nil
 }
 

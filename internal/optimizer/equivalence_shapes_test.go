@@ -98,7 +98,9 @@ func assertPlannersAgree(t *testing.T, label string, a *optimizer.Analysis, cfg 
 	}
 	fs, rs := fast.Stats, ref.Stats
 	if fs.PathsConsidered != rs.PathsConsidered || fs.PathsRetained != rs.PathsRetained ||
-		fs.JoinRels != rs.JoinRels || fs.MasksSkipped != rs.MasksSkipped {
+		fs.JoinRels != rs.JoinRels || fs.MasksSkipped != rs.MasksSkipped ||
+		fs.FrontierInserts != rs.FrontierInserts || fs.FrontierDrops != rs.FrontierDrops ||
+		fs.FrontierEvictions != rs.FrontierEvictions {
 		t.Fatalf("%s: planner counters differ:\n  fast: %+v\n  ref:  %+v", label, fs, rs)
 	}
 	if fs.EnumStates > rs.EnumStates {
@@ -167,6 +169,89 @@ func TestPlannerEquivalenceShapes(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestWideShapeEquivalence pins the wide fast lane — ExportAll bookkeeping
+// through variable-width string keys — bit-identical to the reference
+// planner across every Options combination, on both kinds of packing
+// overflow the reference can still plan: >63 interesting orders on one
+// relation (wide-orders) and >8 grouping columns (wide-group). The >16-
+// relation overflow has no reference run; TestWideChainFastPath covers it.
+func TestWideShapeEquivalence(t *testing.T) {
+	specs := []workload.ShapeSpec{
+		{Shape: workload.ShapeWideOrders, Seed: 91},
+		{Shape: workload.ShapeWideGroup, Seed: 92},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Shape.String(), func(t *testing.T) {
+			t.Parallel()
+			a, cfgs, _ := shapeAnalysis(t, spec)
+			for ci, cfg := range cfgs {
+				if testing.Short() && ci > 0 {
+					break
+				}
+				for _, opt := range shapeOptions() {
+					label := fmt.Sprintf("%s/cfg=%d/opt=%+v", spec.Shape, ci, opt)
+					assertPlannersAgree(t, label, a, cfg, opt)
+				}
+			}
+		})
+	}
+}
+
+// TestWideChainFastPath pins the third packing overflow — more relations
+// than planKey's 16 — on the fast planner alone: the reference sweep is
+// infeasible past 16 relations (and says so), while the fast planner's
+// connectivity-aware enumeration plans and exports normally through the
+// wide lane.
+func TestWideChainFastPath(t *testing.T) {
+	cat, q, err := workload.ShapeQuery(workload.ShapeSpec{Shape: workload.ShapeWideChain, Rels: 17, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := optimizer.NewAnalysis(q, nil, optimizer.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.FastPlannable() {
+		t.Fatal("17-relation chain must be fast-plannable")
+	}
+	// Index only the head of the chain: ExportAll's retained set is an
+	// antichain over per-relation leaf choices, so indexing all 17 relations
+	// would make its size exponential in the chain length (in any planner).
+	// Three indexed relations keep the combo product small while still
+	// driving multi-combo, multi-order traffic through the wide key lane.
+	full := workload.ShapeAllOrdersConfig(cat, q)
+	cfg := &query.Config{}
+	head := map[string]bool{q.Rels[0].Table.Name: true, q.Rels[1].Table.Name: true, q.Rels[2].Table.Name: true}
+	for _, ix := range full.Indexes {
+		if head[ix.Table] {
+			cfg.Indexes = append(cfg.Indexes, ix)
+		}
+	}
+	for _, opt := range []optimizer.Options{
+		{EnableNestLoop: true, ExportAll: true},
+		{EnableNestLoop: true, ExportAll: true, PreciseNLJ: true, PaperPrune: true},
+	} {
+		res, err := optimizer.Optimize(a, cfg, opt)
+		if err != nil {
+			t.Fatalf("opt=%+v: %v", opt, err)
+		}
+		if res.Stats.EnumStates == 0 {
+			t.Fatalf("opt=%+v: fast planner enumerated no DP states", opt)
+		}
+		if len(res.Exported) == 0 {
+			t.Fatalf("opt=%+v: no exported plans", opt)
+		}
+		full := res.Best.Rels.Count()
+		if full != len(q.Rels) {
+			t.Fatalf("opt=%+v: best plan joins %d of %d relations", opt, full, len(q.Rels))
+		}
+	}
+	if _, err := optimizer.OptimizeReference(a, cfg, optimizer.Options{ExportAll: true}); err == nil {
+		t.Fatal("reference planner unexpectedly accepted a 17-relation query")
 	}
 }
 

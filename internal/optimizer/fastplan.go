@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
 
 	"github.com/pinumdb/pinum/internal/catalog"
 	"github.com/pinumdb/pinum/internal/query"
@@ -64,13 +63,17 @@ type lookupMemo struct {
 	ix   *catalog.Index
 	cost float64
 	rows float64
-	id   uint8 // the column's per-relation interned id
+	id   uint16 // the column's per-relation interned id
 }
 
 // planCtx is the per-Optimize fast-path state: everything that can be
 // computed once per call instead of once per probe.
 type planCtx struct {
 	a *Analysis
+	// packed selects the ExportAll key lane: fixed-size planKeys inside
+	// the packing invariants (Analysis.packed), the variable-width
+	// string-key frontier outside them.
+	packed bool
 	// perRel holds the configuration's indexes per relation, filtered
 	// once (configIndexes re-filtered the whole configuration per probe
 	// on the reference path).
@@ -103,7 +106,7 @@ type planCtx struct {
 
 func newPlanCtx(a *Analysis, cfg *query.Config) *planCtx {
 	n := len(a.Rels)
-	ctx := &planCtx{a: a}
+	ctx := &planCtx{a: a, packed: a.packed}
 	ctx.perRel = make([][]*catalog.Index, n)
 	if cfg != nil {
 		for i := range a.Rels {
@@ -310,7 +313,8 @@ func (p *planner) packLeaf(k *planKey, rel int, req LeafReq) {
 	if req.Mode == AccessAny {
 		return
 	}
-	id := p.a.ordIDs[rel][req.Col]
+	// Packed lane only, so the id fits 6 bits (Analysis.packed).
+	id := uint8(p.a.ordIDs[rel][req.Col])
 	if p.opt.PaperPrune {
 		// The string key's 'c' mode collapse: the byte is the bare column id.
 		k.setLeafByte(rel, id)
@@ -366,9 +370,9 @@ func (p *planner) candKeyOf(c *joinCand) planKey {
 		}
 	}
 	if c.op == OpNestLoop {
-		b := uint8(AccessLookup)<<6 | c.nljColID
+		b := uint8(AccessLookup)<<6 | uint8(c.nljColID)
 		if p.opt.PaperPrune {
-			b = c.nljColID
+			b = uint8(c.nljColID)
 		}
 		k.setLeafByte(c.nljRel, b)
 		if p.opt.PreciseNLJ {
@@ -379,61 +383,286 @@ func (p *planner) candKeyOf(c *joinCand) planKey {
 	return k
 }
 
-// insertKeyedPath dedups a materialised path by packed key (the fast
-// equivalent of the reference byKey insertion). Keys live in the planner's
-// keyed store until finishRelFast moves the kept ones into the arena.
+// frontierAdd runs one packed-key arrival through the insertion-time
+// dominance frontier (frontier.go documents the protocol and why it is
+// exact). It returns the arrival's slot and whether the caller should
+// materialise and store the path (p.keyed[slot] = np); a false return
+// means the arrival lost its dedup slot or was dominated on arrival, so
+// no Path is ever allocated for it. All screening here reads packed keys
+// and the slot metric/order arrays only — never p.keyed — which is what
+// lets dead slots exist without a materialised path.
+//
+// Under PaperPrune+PreciseNLJ the key keeps NLJ coefficient lanes that the
+// column-collapsed subsumption ignores, so two distinct keys can dominate
+// each other and the batch rule — compare against the whole population,
+// dead members included — kills both sides of an equal-metric mutual pair.
+// Live-only screening would keep whichever arrived first, so in that mode
+// (zombie below) dead slots stay parked in their buckets as dominators and
+// every arrival, dominated or not, runs the eviction scan. Every other
+// mode's key granularity matches its subsumption granularity, making
+// domination antisymmetric, and there live-only screening is provably
+// exact (see frontier.go) and keeps the scans shorter.
+//
+// bucketEnt is one frontier-bucket member: the slot id plus copies of the
+// scan-hot fields (metric for the early break, the two leaf words for the
+// subset reject), so dominator scans walk sequential memory and only touch
+// the full packed key after the quick reject passes.
+type bucketEnt struct {
+	metric float64
+	l0, l1 uint64
+	slot   int32
+}
+
+//pinum:hotpath
+func (p *planner) frontierAdd(key *planKey, m float64, order []query.ColRef) (int32, bool) {
+	zombie := p.opt.PaperPrune && p.opt.PreciseNLJ
+	if s, ok := p.fastKey[*key]; ok {
+		if p.slotMetric[s] <= m {
+			p.res.Stats.PathsPruned++
+			return 0, false
+		}
+		p.res.Stats.PathsPruned++ // the displaced incumbent
+		if p.keyed[s] != nil {
+			// Live improvement: the dominator set only shrinks as the
+			// metric drops, so no re-screen — reposition in the bucket
+			// (searched at the old metric) and evict what s now dominates.
+			p.bucketRemove(s)
+			p.slotMetric[s] = m
+			p.bucketInsert(s)
+			p.frontierEvict(s, zombie)
+			return s, true
+		}
+		if zombie {
+			// The dead slot is a zombie parked in its bucket; reposition
+			// it, re-screen at the new metric — the recorded witness makes
+			// that O(1) while it still applies — and run the eviction scan
+			// whether it revives or not (dead population members still
+			// dominate under the batch rule).
+			p.bucketRemove(s)
+			p.slotMetric[s] = m
+			dominated := true
+			if w := p.slotWitness[s]; w < 0 || p.slotMetric[w] > m {
+				d := p.frontierDominated(p.slotOrd[s], m, &p.keys[s])
+				p.slotWitness[s] = d
+				dominated = d >= 0
+			}
+			p.bucketInsert(s)
+			p.frontierEvict(s, zombie)
+			if dominated {
+				p.res.Stats.FrontierDrops++
+				return 0, false
+			}
+			p.res.Stats.FrontierInserts++
+			return s, true
+		}
+		p.slotMetric[s] = m
+		if w := p.slotWitness[s]; w >= 0 && p.keyed[w] != nil && p.slotMetric[w] <= m {
+			p.res.Stats.FrontierDrops++
+			return 0, false
+		}
+		if d := p.frontierDominated(p.slotOrd[s], m, &p.keys[s]); d >= 0 {
+			p.slotWitness[s] = d
+			p.res.Stats.FrontierDrops++
+			return 0, false
+		}
+		// Revival: the slot re-enters the frontier under its original
+		// sequence number, preserving the first-insertion tie order.
+		p.res.Stats.FrontierInserts++
+		p.bucketInsert(s)
+		p.frontierEvict(s, zombie)
+		return s, true
+	}
+	s := int32(len(p.keys))
+	p.fastKey[*key] = s
+	p.keys = append(p.keys, *key)
+	p.keyed = append(p.keyed, nil)
+	ord := p.ctx.orderIDPacked(key.order, order)
+	p.slotOrd = append(p.slotOrd, ord)
+	p.slotMetric = append(p.slotMetric, m)
+	p.slotWitness = append(p.slotWitness, -1)
+	if zombie {
+		d := p.frontierDominated(ord, m, &p.keys[s])
+		p.slotWitness[s] = d
+		p.bucketInsert(s)
+		p.frontierEvict(s, zombie)
+		if d >= 0 {
+			p.res.Stats.FrontierDrops++
+			return 0, false
+		}
+		p.res.Stats.FrontierInserts++
+		return s, true
+	}
+	if d := p.frontierDominated(ord, m, &p.keys[s]); d >= 0 {
+		p.slotWitness[s] = d
+		p.res.Stats.FrontierDrops++
+		return 0, false
+	}
+	p.res.Stats.FrontierInserts++
+	p.bucketInsert(s)
+	p.frontierEvict(s, zombie)
+	return s, true
+}
+
+// frontierDominated screens an arrival against the frontier: a bucket
+// member with metric ≤ m whose order satisfies ord and whose packed key
+// subsumes the arrival's. Buckets hold the live slots (plus, in zombie
+// mode, the dead ones — dominators either way, so no liveness check is
+// needed) in (metric, slot) order, so each scan stops at the first larger
+// metric, exactly like the batch pass over its fully sorted slice.
+// Returns the dominating slot — the caller records it as the dead slot's
+// witness — or -1.
 //
 //pinum:hotpath
-func (p *planner) insertKeyedPath(key planKey, np *Path) {
-	if i, ok := p.fastKey[key]; ok {
-		old := p.keyed[i]
-		if p.opt.PaperPrune {
-			if old.Cost <= np.Cost {
-				p.res.Stats.PathsPruned++
-				return
-			}
-		} else if old.Internal <= np.Internal {
-			p.res.Stats.PathsPruned++
-			return
+func (p *planner) frontierDominated(ord int32, m float64, key *planKey) int32 {
+	sat := p.ctx.sat
+	l0, l1 := key.leaves[0], key.leaves[1]
+	for b := range p.buckets {
+		if !sat[b][ord] {
+			continue
 		}
-		p.keyed[i] = np
-		p.res.Stats.PathsPruned++ // the displaced incumbent
-		return
+		bucket := p.buckets[b]
+		for i := range bucket {
+			e := &bucket[i]
+			if e.metric > m {
+				break
+			}
+			if e.l0&^l0 == 0 && e.l1&^l1 == 0 && p.subsumesPacked(&p.keys[e.slot], key) {
+				return e.slot
+			}
+		}
 	}
-	p.fastKey[key] = int32(len(p.keyed))
-	p.keyed = append(p.keyed, np)
-	p.keys = append(p.keys, key)
+	return -1
+}
+
+// frontierEvict kills every live slot the just-inserted (or improved)
+// slot s now dominates: metric ≥ s's — the batch pass dominates across
+// equal metrics regardless of arrival order — in a bucket whose order s
+// satisfies, with a subsumed key. Outside zombie mode the killed slots
+// also leave their buckets (transitivity re-covers anything they
+// dominated); in zombie mode they stay parked as future dominators.
+//
+//pinum:hotpath
+func (p *planner) frontierEvict(s int32, zombie bool) {
+	m := p.slotMetric[s]
+	sk := &p.keys[s]
+	sl0, sl1 := sk.leaves[0], sk.leaves[1]
+	sat := p.ctx.sat[p.slotOrd[s]]
+	for b := range p.buckets {
+		if !sat[b] {
+			continue
+		}
+		bucket := p.buckets[b]
+		lo, hi := 0, len(bucket)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if bucket[mid].metric < m {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(bucket) {
+			continue
+		}
+		if zombie {
+			for i := lo; i < len(bucket); i++ {
+				e := &bucket[i]
+				t := e.slot
+				if t != s && p.keyed[t] != nil && sl0&^e.l0 == 0 && sl1&^e.l1 == 0 &&
+					p.subsumesPacked(sk, &p.keys[t]) {
+					p.keyed[t] = nil
+					p.slotWitness[t] = s
+					p.res.Stats.FrontierEvictions++
+				}
+			}
+			continue
+		}
+		w := lo
+		for i := lo; i < len(bucket); i++ {
+			e := bucket[i]
+			t := e.slot
+			if t != s && sl0&^e.l0 == 0 && sl1&^e.l1 == 0 && p.subsumesPacked(sk, &p.keys[t]) {
+				p.keyed[t] = nil
+				p.slotWitness[t] = s
+				p.res.Stats.FrontierEvictions++
+				continue
+			}
+			bucket[w] = e
+			w++
+		}
+		p.buckets[b] = bucket[:w]
+	}
+}
+
+// bucketInsert places s into its order bucket at its (metric, slot)
+// position; bucketRemove takes it back out by binary search on the same
+// total order. Slot ids are first-arrival order, so the in-bucket tie
+// order is the reference planner's stable-sort tie order.
+//
+//pinum:hotpath
+func (p *planner) bucketInsert(s int32) {
+	for len(p.buckets) < len(p.ctx.orderPacks) {
+		p.buckets = append(p.buckets, nil)
+	}
+	ord := p.slotOrd[s]
+	b := p.buckets[ord]
+	k := &p.keys[s]
+	e := bucketEnt{metric: p.slotMetric[s], l0: k.leaves[0], l1: k.leaves[1], slot: s}
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid].metric < e.metric || (b[mid].metric == e.metric && b[mid].slot < s) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	b = append(b, bucketEnt{})
+	copy(b[lo+1:], b[lo:])
+	b[lo] = e
+	p.buckets[ord] = b
+}
+
+//pinum:hotpath
+func (p *planner) bucketRemove(s int32) {
+	ord := p.slotOrd[s]
+	b := p.buckets[ord]
+	m := p.slotMetric[s]
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid].metric < m || (b[mid].metric == m && b[mid].slot < s) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	copy(b[lo:], b[lo+1:])
+	p.buckets[ord] = b[:len(b)-1]
 }
 
 // addJoinFast screens a join candidate before any allocation: in ExportAll
-// mode against the packed-key slot, in normal mode against the retained
-// frontier. Only survivors are materialised.
+// mode through the insertion-time dominance frontier, in normal mode
+// against the retained path list. Only survivors are materialised.
 //
 //pinum:hotpath
 func (p *planner) addJoinFast(jr *joinRel, c *joinCand) {
 	p.res.Stats.PathsConsidered++
 	if p.opt.ExportAll {
-		key := p.candKeyOf(c)
-		if i, ok := p.fastKey[key]; ok {
-			old := p.keyed[i]
-			if p.opt.PaperPrune {
-				if old.Cost <= c.cost {
-					p.res.Stats.PathsPruned++
-					return
-				}
-			} else if old.Internal <= c.internal {
-				p.res.Stats.PathsPruned++
-				return
-			}
-			np := c.materialize(p, jr.set)
-			p.keyed[i] = np
-			p.res.Stats.PathsPruned++ // the displaced incumbent
+		if !p.ctx.packed {
+			// Wide lane: the candidate's plan identity does not fit
+			// planKey, so materialise and run the string-keyed frontier.
+			p.wideAdd(c.materialize(p, jr.set))
 			return
 		}
-		np := c.materialize(p, jr.set)
-		p.fastKey[key] = int32(len(p.keyed))
-		p.keyed = append(p.keyed, np)
-		p.keys = append(p.keys, key)
+		m := c.internal
+		if p.opt.PaperPrune {
+			m = c.cost
+		}
+		key := p.candKeyOf(c)
+		if slot, ok := p.frontierAdd(&key, m, c.order); ok {
+			p.keyed[slot] = c.materialize(p, jr.set)
+		}
 		return
 	}
 	const fuzz = 1e-9
@@ -463,10 +692,44 @@ func (p *planner) addJoinFast(jr *joinRel, c *joinCand) {
 // exactly. Disconnection is detected up front by a graph reachability
 // check rather than discovered at the full mask.
 //
+// relTable is planFast's DP table over join relations: a dense
+// mask-indexed slice when the mask space is small (≤16 relations, at most
+// 64K slots), a map beyond it. The connectivity-aware enumeration touches
+// only planned masks, so the wide form never materialises the exponential
+// mask space.
+type relTable struct {
+	dense  []*joinRel
+	sparse map[RelSet]*joinRel
+}
+
+func newRelTable(n int) *relTable {
+	if n <= 16 {
+		return &relTable{dense: make([]*joinRel, 1<<uint(n))}
+	}
+	return &relTable{sparse: make(map[RelSet]*joinRel, 4*n)}
+}
+
+//pinum:hotpath
+func (t *relTable) get(s RelSet) *joinRel {
+	if t.dense != nil {
+		return t.dense[s]
+	}
+	return t.sparse[s]
+}
+
+//pinum:hotpath
+func (t *relTable) put(s RelSet, jr *joinRel) {
+	if t.dense != nil {
+		t.dense[s] = jr
+		return
+	}
+	t.sparse[s] = jr
+}
+
 //pinum:hotpath
 func (p *planner) planFast() (*joinRel, error) {
 	n := len(p.a.Rels)
-	rels := make([]*joinRel, 1<<uint(n))
+	rels := newRelTable(n)
 	planned := 0
 	for i := 0; i < n; i++ {
 		jr := p.scanPaths(i)
@@ -474,12 +737,12 @@ func (p *planner) planFast() (*joinRel, error) {
 		if len(jr.paths) == 0 {
 			return nil, fmt.Errorf("optimizer: no access path for relation %d", i)
 		}
-		rels[jr.set] = jr
+		rels.put(jr.set, jr)
 		planned++
 	}
 	if n == 1 {
 		p.res.Stats.JoinRels = 1
-		return rels[Single(0)], nil
+		return rels.get(Single(0)), nil
 	}
 
 	a := p.a
@@ -498,10 +761,16 @@ func (p *planner) planFast() (*joinRel, error) {
 		return nil, fmt.Errorf("optimizer: join graph of query %s is disconnected", p.a.Q.Name)
 	}
 	if !a.ccpFits {
+		if rels.dense == nil {
+			// Past 16 relations the in-place sweep's 3^n splits are out of
+			// reach; only the connectivity-aware enumeration is feasible,
+			// and its pair list just overflowed.
+			return nil, fmt.Errorf("optimizer: query %s joins %d relations with a join graph too dense to enumerate", a.Q.Name, n)
+		}
 		// The graph is dense enough that the pair list would rival the
 		// dense sweep's 3^n split count in memory; sweep in place instead
 		// (same order, same results, no pair materialisation).
-		return p.planFastDense(rels, planned)
+		return p.planFastDense(rels.dense, planned)
 	}
 	pairs := a.ccpPairs
 	p.res.Stats.EnumStates += len(pairs)
@@ -520,19 +789,23 @@ func (p *planner) planFast() (*joinRel, error) {
 			s2 := mask ^ s1
 			fwd, rev := p.ctx.crossClauses(s1, s2)
 			p.res.Stats.ClauseLookups++
-			p.joinPaths(jr, rels[s1], rels[s2], fwd)
-			p.joinPaths(jr, rels[s2], rels[s1], rev)
+			p.joinPaths(jr, rels.get(s1), rels.get(s2), fwd)
+			p.joinPaths(jr, rels.get(s2), rels.get(s1), rev)
 		}
 		p.finishRel(jr)
-		rels[mask] = jr
+		rels.put(mask, jr)
 		planned++
 	}
 	p.res.Stats.JoinRels = planned
 	// Every non-trivial mask the dense sweep would visit but the
 	// enumeration never produced is a disconnected subset; the reference
 	// planner counts the same masks one by one as its splits come up empty.
-	p.res.Stats.MasksSkipped += (1<<uint(n) - 1) - planned
-	top := rels[RelSet(1<<uint(n))-1]
+	// (Past 62 relations the mask count overflows int; no reference run
+	// exists at that width to compare stats against.)
+	if n <= 62 {
+		p.res.Stats.MasksSkipped += (1<<uint(n) - 1) - planned
+	}
+	top := rels.get(RelSet(1<<uint(n)) - 1)
 	if top == nil || len(top.paths) == 0 {
 		return nil, fmt.Errorf("optimizer: join graph of query %s is disconnected", p.a.Q.Name)
 	}
@@ -597,93 +870,49 @@ func (p *planner) planFastDense(rels []*joinRel, planned int) (*joinRel, error) 
 	return top, nil
 }
 
-// finishRelFast is the bucketed subsumption prune: paths group by exact
-// output order, so each dominator scan only touches paths whose order can
-// possibly satisfy the candidate's, instead of the reference all-pairs
-// scan. The metric/index/bucket buffers are reused across join relations.
-// The kept set is provably identical to the reference pass: domination is
-// checked against the same "metric ≤ candidate's" population, only
-// partitioned by order.
+// finishRelFast drains the frontier for one completed join relation. The
+// pruning already happened at insertion time, so all that remains is to
+// count the dead slots (exactly the keys the old batch pass pruned after
+// materialising them), order the live ones by (metric, first-arrival) —
+// byte-identical to the reference pass's kept sequence — and park their
+// keys in the arena. The slot/bucket buffers are reused across relations.
 //
 //pinum:hotpath
 func (p *planner) finishRelFast(jr *joinRel) {
 	paths, keys := p.keyed, p.keys
-	n := len(paths)
-	if n == 0 {
+	if len(paths) == 0 {
 		jr.paths = nil
 		return
 	}
-	ctx := p.ctx
-	paper := p.opt.PaperPrune
-
-	metric := p.metricBuf[:0]
 	idx := p.idxBuf[:0]
-	ords := p.ordBuf[:0]
-	for i, pt := range paths {
-		m := pt.Internal
-		if paper {
-			m = pt.Cost
-		}
-		metric = append(metric, m)
-		idx = append(idx, int32(i))
-		ords = append(ords, ctx.orderIDPacked(keys[i].order, pt.Order))
-	}
-	p.metricBuf, p.idxBuf, p.ordBuf = metric, idx, ords
-
-	//pinum:alloc-ok one closure per finishRelFast call (per relation, not per candidate); replacing it with an allocation-free sort is ROADMAP item 4
-	sort.SliceStable(idx, func(x, y int) bool { return metric[idx[x]] < metric[idx[y]] })
-
-	// Bucket by exact output order in ascending-metric order, so bucket
-	// scans can stop at the first larger metric, exactly like the
-	// reference scan over its fully sorted slice.
-	nb := len(ctx.orderPacks)
-	for len(p.buckets) < nb {
-		p.buckets = append(p.buckets, nil)
-	}
-	buckets := p.buckets[:nb]
-	for b := range buckets {
-		buckets[b] = buckets[b][:0]
-	}
-	for _, j := range idx {
-		buckets[ords[j]] = append(buckets[ords[j]], j)
-	}
-
-	kept := make([]*Path, 0, n)
-	for _, i := range idx {
-		m := metric[i]
-		dominated := false
-		for b := 0; b < nb && !dominated; b++ {
-			if !ctx.sat[b][ords[i]] {
-				continue
-			}
-			for _, j := range buckets[b] {
-				if metric[j] > m {
-					break
-				}
-				if j == i {
-					continue
-				}
-				if p.subsumesPacked(&keys[j], &keys[i]) {
-					dominated = true
-					break
-				}
-			}
-		}
-		if dominated {
+	for s := range paths {
+		if paths[s] == nil {
 			p.res.Stats.PathsPruned++
 			continue
 		}
+		idx = append(idx, int32(s))
+	}
+	sortSlotsByMetric(idx, p.slotMetric)
+	kept := make([]*Path, 0, len(idx))
+	for _, s := range idx {
 		// Survivors park their key in the per-call arena; the joins built
 		// on top of this relation read it back through pkRef. Pruned
 		// paths' keys die with the scratch buffer.
-		paths[i].pkRef = int32(len(p.keyArena) + 1)
-		p.keyArena = append(p.keyArena, keys[i])
-		kept = append(kept, paths[i])
+		paths[s].pkRef = int32(len(p.keyArena) + 1)
+		p.keyArena = append(p.keyArena, keys[s])
+		kept = append(kept, paths[s])
 	}
 	jr.paths = kept
+	p.idxBuf = idx
 
 	p.keyed = paths[:0]
 	p.keys = keys[:0]
+	p.slotMetric = p.slotMetric[:0]
+	p.slotOrd = p.slotOrd[:0]
+	p.slotWitness = p.slotWitness[:0]
+	for b := range p.buckets {
+		p.buckets[b] = p.buckets[b][:0]
+	}
 	clear(p.fastKey)
 }
 

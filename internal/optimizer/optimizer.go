@@ -99,6 +99,19 @@ type PlannerStats struct {
 	// planner never touches them and reports the same count arithmetically,
 	// so the two planners' values coincide (the equivalence suite pins it).
 	MasksSkipped int
+	// FrontierInserts / FrontierDrops / FrontierEvictions count the
+	// insertion-time dominance frontier's work in ExportAll mode: keys that
+	// entered the live frontier (first arrivals and revivals of previously
+	// dominated keys), arrivals screened out as dominated before
+	// materialisation, and live keys evicted by a later-arriving dominator.
+	// The fast planner maintains the frontier for real; the reference
+	// planner replays the same protocol through a counting mirror while its
+	// batch pass computes the results, so the equivalence suites can pin
+	// the counters equal. Drops are the fast path's headline saving: each
+	// is a Path (and its merged leaf slice) never allocated.
+	FrontierInserts   int
+	FrontierDrops     int
+	FrontierEvictions int
 }
 
 // Add accumulates o into s (used by cache builders that aggregate the work
@@ -111,6 +124,9 @@ func (s *PlannerStats) Add(o PlannerStats) {
 	s.ClauseLookups += o.ClauseLookups
 	s.EnumStates += o.EnumStates
 	s.MasksSkipped += o.MasksSkipped
+	s.FrontierInserts += o.FrontierInserts
+	s.FrontierDrops += o.FrontierDrops
+	s.FrontierEvictions += o.FrontierEvictions
 }
 
 // Result is the output of one optimizer call.
@@ -149,13 +165,19 @@ func optimize(a *Analysis, cfg *query.Config, opt Options, fast bool) (*Result, 
 	if n == 0 {
 		return nil, fmt.Errorf("optimizer: query %s has no relations", a.Q.Name)
 	}
-	if n > 16 {
-		return nil, fmt.Errorf("optimizer: query %s joins %d relations; the DP planner supports at most 16", a.Q.Name, n)
+	if n > 64 {
+		return nil, fmt.Errorf("optimizer: query %s joins %d relations; the DP planner supports at most 64", a.Q.Name, n)
+	}
+	if !fast && n > 16 {
+		// The reference loop sweeps every mask and submask split; past 16
+		// relations only the fast planner's connectivity-aware enumeration
+		// is feasible.
+		return nil, fmt.Errorf("optimizer: query %s joins %d relations; the reference planner supports at most 16", a.Q.Name, n)
 	}
 	p := &planner{a: a, cfg: cfg, opt: opt, res: &Result{}}
 	if fast {
 		p.ctx = newPlanCtx(a, cfg)
-		if opt.ExportAll {
+		if opt.ExportAll && a.packed {
 			p.fastKey = make(map[planKey]int32, 64)
 		}
 	}
@@ -204,11 +226,33 @@ type planner struct {
 	keys     []planKey
 	keyArena []planKey
 
-	// finishRelFast scratch, reused across join relations.
-	metricBuf []float64
-	idxBuf    []int32
-	ordBuf    []int32
-	buckets   [][]int32
+	// Per-slot frontier state, parallel to keyed/keys: the pruning metric
+	// and the dense output-order id. A slot with keyed[s] == nil is dead
+	// (dominated); its metric stays recorded so later arrivals of the same
+	// key still dedup, and a revival keeps the slot's original sequence
+	// number (the first-insertion tie-break). slotWitness remembers the
+	// slot that dominated a dead slot: domination between fixed keys is
+	// static, so while the witness keeps metric ≤ the dead slot's (and, in
+	// live-only mode, stays live) an improving dead slot stays dead without
+	// re-running the frontier screen. buckets holds the live slots of each
+	// output order in (metric, slot) order; idxBuf is the collection
+	// scratch in finishRelFast.
+	slotMetric  []float64
+	slotOrd     []int32
+	slotWitness []int32
+	buckets     [][]bucketEnt
+	idxBuf      []int32
+
+	// wideFrontier is the fast planner's ExportAll bookkeeping outside the
+	// packed-key invariants (ctx.packed false): the same insertion-time
+	// frontier protocol over variable-width string keys, materialising
+	// candidates eagerly (wide plan identities cannot pack into planKey).
+	// Created lazily on the first arrival.
+	wideFrontier *pathFrontier
+
+	// refSim mirrors the frontier protocol for the reference planner's
+	// stats (see optimize); nil on the fast path and outside ExportAll.
+	refSim *pathFrontier
 }
 
 type joinRel struct {
@@ -332,17 +376,55 @@ func (p *planner) scanPaths(rel int) *joinRel {
 // deduplicates exactly equal (leaf combo, output order) keys by internal
 // cost; the paper's subsumption pruning (§V-D) runs once per finished join
 // relation in finishRel.
+// pathMetric is the ExportAll pruning metric (see finishRel): the
+// provably-safe internal cost by default, the paper's literal total cost
+// under PaperPrune.
+func (p *planner) pathMetric(pt *Path) float64 {
+	if p.opt.PaperPrune {
+		return pt.Cost
+	}
+	return pt.Internal
+}
+
+// wideAdd routes a materialised path through the wide lane's string-keyed
+// frontier: the fast planner's ExportAll bookkeeping for plan identities
+// that exceed planKey's packing capacity. The key is the reference
+// planner's pathKey, so dedup, pruning, and tie order match it exactly.
+func (p *planner) wideAdd(np *Path) {
+	if p.wideFrontier == nil {
+		p.wideFrontier = newPathFrontier(p.opt, &p.res.Stats, false)
+	}
+	p.wideFrontier.add(pathKey(np, p.opt.PreciseNLJ, p.opt.PaperPrune), np)
+}
+
 func (p *planner) addPath(jr *joinRel, np *Path) {
 	p.res.Stats.PathsConsidered++
 	if p.opt.ExportAll {
 		if p.ctx != nil {
-			p.insertKeyedPath(p.pathKeyOf(np), np)
+			if !p.ctx.packed {
+				p.wideAdd(np)
+				return
+			}
+			k := p.pathKeyOf(np)
+			if slot, ok := p.frontierAdd(&k, p.pathMetric(np), np.Order); ok {
+				p.keyed[slot] = np
+			}
 			return
 		}
 		if jr.byKey == nil {
 			jr.byKey = make(map[string]*Path)
 		}
 		key := pathKey(np, p.opt.PreciseNLJ, p.opt.PaperPrune)
+		// The reference batch pass cannot see which arrivals the frontier
+		// would have screened, so a counting mirror replays the frontier
+		// protocol on the same arrival stream; the Frontier* stats come
+		// out identical to the fast planner's (the equivalence suites
+		// assert it). Created lazily so directly-constructed planners in
+		// tests count too.
+		if p.refSim == nil {
+			p.refSim = newPathFrontier(p.opt, &p.res.Stats, true)
+		}
+		p.refSim.add(key, np)
 		if old, ok := jr.byKey[key]; ok {
 			if p.opt.PaperPrune {
 				if old.Cost <= np.Cost {
@@ -414,7 +496,7 @@ type joinCand struct {
 	nljRel   int
 	nljIndex *catalog.Index
 	nljCol   string
-	nljColID uint8 // interned column id (fast mode only)
+	nljColID uint16 // interned column id (fast mode only)
 	nljCoef  float64
 	nljRows  float64
 	nljCost  float64
@@ -518,6 +600,13 @@ func (p *planner) finishRel(jr *joinRel) {
 		return
 	}
 	if p.ctx != nil {
+		if !p.ctx.packed {
+			jr.paths = nil
+			if p.wideFrontier != nil {
+				jr.paths = p.wideFrontier.finish()
+			}
+			return
+		}
 		p.finishRelFast(jr)
 		return
 	}
@@ -573,6 +662,9 @@ func (p *planner) finishRel(jr *joinRel) {
 	jr.paths = kept
 	jr.byKey = nil
 	jr.keyOrder = nil
+	if p.refSim != nil {
+		p.refSim.finish()
+	}
 }
 
 // clauseRef is a join clause oriented for a specific (outer, inner) pair.
@@ -697,10 +789,12 @@ func (p *planner) joinPaths(jr *joinRel, outer, inner *joinRel, clauses []clause
 		}
 	}
 
-	// Fast ExportAll mode threads packed output orders and the children's
-	// arena keys alongside the slices so candidate keys never re-intern
-	// columns (and candKeyOf never indexes the arena per candidate).
-	exportFast := p.ctx != nil && p.opt.ExportAll
+	// Packed fast ExportAll mode threads packed output orders and the
+	// children's arena keys alongside the slices so candidate keys never
+	// re-intern columns (and candKeyOf never indexes the arena per
+	// candidate). The wide lane materialises eagerly and takes the plain
+	// branches below.
+	exportFast := p.ctx != nil && p.opt.ExportAll && p.ctx.packed
 	var cheapInnerKey *planKey
 	if exportFast && cheapestInner != nil {
 		cheapInnerKey = p.keyOf(cheapestInner)
@@ -822,7 +916,7 @@ func (p *planner) joinPaths(jr *joinRel, outer, inner *joinRel, clauses []clause
 				cl := &clauses[ci]
 				var best, lrows float64
 				var via *catalog.Index
-				var colID uint8
+				var colID uint16
 				if p.ctx != nil {
 					m := p.ctx.lookup(p.a, nljRel, cl.inner.Column)
 					best, via, lrows, colID = m.cost, m.ix, m.rows, m.id

@@ -94,13 +94,13 @@ func assertCacheEquivalent(t *testing.T, label string, tree, other *inum.Cache, 
 		if math.Float64bits(tp.Internal) != math.Float64bits(op.Internal) {
 			t.Fatalf("%s plan %d: internal bits differ", label, i)
 		}
-		if tp.NLJ != op.NLJ || tp.Combo.Key() != op.Combo.Key() {
+		if tp.NLJ != op.NLJ || tp.Combo().Key() != op.Combo().Key() {
 			t.Fatalf("%s plan %d: combo/NLJ differ: %v/%v vs %v/%v",
-				label, i, tp.Combo, tp.NLJ, op.Combo, op.NLJ)
+				label, i, tp.Combo(), tp.NLJ, op.Combo(), op.NLJ)
 		}
-		for rel := range tp.Leaves {
-			if tp.Leaves[rel] != op.Leaves[rel] {
-				t.Fatalf("%s plan %d leaf %d: %+v vs %+v", label, i, rel, tp.Leaves[rel], op.Leaves[rel])
+		for rel := 0; rel < tp.NumRels(); rel++ {
+			if tp.Leaf(rel) != op.Leaf(rel) {
+				t.Fatalf("%s plan %d leaf %d: %+v vs %+v", label, i, rel, tp.Leaf(rel), op.Leaf(rel))
 			}
 		}
 		tb, ob := tree.BaseLeafCosts(tp), other.BaseLeafCosts(op)

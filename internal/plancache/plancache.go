@@ -5,12 +5,15 @@
 //
 // A snapshot stores, per query, exactly what the cached cost model
 // (inum.Cache.Cost) consumes — each plan's internal cost and per-relation
-// leaf requirements (mode, column, coefficient) — and nothing the planner
-// retained along the way: no path trees, no signatures. Loading a
-// snapshot therefore reconstructs a slim cache whose Cost and
-// BaseLeafCosts results are bit-identical to the cache that was saved
-// (float64 payloads round-trip as raw IEEE-754 bits, and entry order is
-// preserved), at a fraction of the memory.
+// leaf requirements in the planner's packed interned form (two identity
+// bytes plus the float64 coefficient per relation, see optimizer.PackLeaf)
+// — and nothing the planner retained along the way: no path trees, no
+// signatures, no column strings (order ids resolve through the query's
+// deterministic interning at load). Loading a snapshot therefore
+// reconstructs a slim cache whose Cost and BaseLeafCosts results are
+// bit-identical to the cache that was saved (float64 payloads round-trip
+// as raw IEEE-754 bits, and entry order is preserved), at a fraction of
+// the memory.
 //
 // Snapshots are fingerprinted against the catalog, statistics and cost
 // parameters they were built under. The stored internal costs and leaf
@@ -40,12 +43,17 @@ import (
 	"github.com/pinumdb/pinum/internal/stats"
 )
 
-// Entry is one slim cached plan: the INUM decomposition without the tree.
+// Entry is one slim cached plan: the INUM decomposition without the tree,
+// leaves in the planner's packed interned form.
 type Entry struct {
 	// Internal is the access-method-independent plan cost.
 	Internal float64
-	// Leaves holds one access requirement per query relation.
-	Leaves []optimizer.LeafReq
+	// Packed holds one interned leaf identity per query relation
+	// (optimizer.PackLeaf: mode in the top two bits, the relation's
+	// interesting-order id in the low fourteen).
+	Packed []uint16
+	// Coefs holds the matching access-cost coefficients.
+	Coefs []float64
 }
 
 // QueryPlans is the slim plan cache of one query.
@@ -99,7 +107,8 @@ func FromCache(c *inum.Cache) QueryPlans {
 		Entries: make([]Entry, len(c.Plans)),
 	}
 	for i, cp := range c.Plans {
-		qp.Entries[i] = Entry{Internal: cp.Internal, Leaves: cp.Leaves}
+		pk, coefs := cp.PackedLeaves()
+		qp.Entries[i] = Entry{Internal: cp.Internal, Packed: pk, Coefs: coefs}
 	}
 	return qp
 }
@@ -116,11 +125,13 @@ func ToCache(a *optimizer.Analysis, qp QueryPlans) (*inum.Cache, error) {
 	}
 	c := inum.NewSlimCache(a)
 	for _, e := range qp.Entries {
-		if len(e.Leaves) != qp.NRels {
-			return nil, fmt.Errorf("plancache: query %s: entry with %d leaves for %d relations",
-				qp.Name, len(e.Leaves), qp.NRels)
+		if len(e.Packed) != qp.NRels || len(e.Coefs) != qp.NRels {
+			return nil, fmt.Errorf("plancache: query %s: entry with %d leaves and %d coefficients for %d relations",
+				qp.Name, len(e.Packed), len(e.Coefs), qp.NRels)
 		}
-		c.AddSlim(e.Internal, e.Leaves)
+		if _, err := c.AddSlim(e.Internal, e.Packed, e.Coefs); err != nil {
+			return nil, fmt.Errorf("plancache: query %s: %w", qp.Name, err)
+		}
 	}
 	c.Seal()
 	c.Stats.Mem = c.MemStats()
@@ -200,8 +211,10 @@ func Fingerprint(cat *catalog.Catalog, st *stats.Store, params optimizer.CostPar
 
 // ------------------------------------------------------------- codec ----
 
-// magic identifies the format; its last byte is the version.
-var magic = [8]byte{'P', 'I', 'N', 'U', 'M', 'P', 'C', 1}
+// magic identifies the format; its last byte is the version. Version 2
+// switched entries to packed interned leaves (v1 stored per-leaf column
+// strings through a pool); v1 snapshots are rejected as stale.
+var magic = [8]byte{'P', 'I', 'N', 'U', 'M', 'P', 'C', 2}
 
 // Decode sanity caps: a snapshot exceeding any of these is rejected as
 // corrupt rather than allocated for.
@@ -234,7 +247,11 @@ func (hw *hashWriter) write(p []byte) {
 	_, hw.err = hw.w.Write(p)
 }
 
-func (hw *hashWriter) u8(v uint8) { hw.write([]byte{v}) }
+func (hw *hashWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	hw.write(b[:])
+}
 
 func (hw *hashWriter) u32(v uint32) {
 	var b [4]byte
@@ -253,11 +270,12 @@ func (hw *hashWriter) str(s string) {
 	hw.write([]byte(s))
 }
 
-// Encode writes the snapshot in the deterministic v1 binary format:
+// Encode writes the snapshot in the deterministic v2 binary format:
 // little-endian fixed-width integers, float64s as raw IEEE-754 bits, and
-// a per-query column-name pool in first-use order, closed by an FNV-1a
-// checksum over everything before it. The same snapshot always encodes
-// to the same bytes, so encode→decode→re-encode is byte-identical.
+// per-relation leaves as packed interned identities (see optimizer.PackLeaf
+// — no column strings on the wire), closed by an FNV-1a checksum over
+// everything before it. The same snapshot always encodes to the same
+// bytes, so encode→decode→re-encode is byte-identical.
 func Encode(w io.Writer, s *Snapshot) error {
 	hw := &hashWriter{w: w, sum: fnvOffset}
 	hw.write(magic[:])
@@ -285,47 +303,38 @@ func encodeQuery(hw *hashWriter, qp *QueryPlans) error {
 	hw.str(qp.SQL)
 	hw.u32(uint32(qp.NRels))
 
-	// Column pool in first-use order across the entries, so the encoding
-	// is a pure function of the plan list.
-	poolIdx := make(map[string]uint32)
-	var pool []string
-	for _, e := range qp.Entries {
-		for _, req := range e.Leaves {
-			if req.Col == "" {
-				continue
-			}
-			if _, ok := poolIdx[req.Col]; !ok {
-				poolIdx[req.Col] = uint32(len(pool))
-				pool = append(pool, req.Col)
-			}
-		}
-	}
-	hw.u32(uint32(len(pool)))
-	for _, col := range pool {
-		hw.str(col)
-	}
-
 	hw.u32(uint32(len(qp.Entries)))
 	for _, e := range qp.Entries {
-		if len(e.Leaves) != qp.NRels {
-			return fmt.Errorf("plancache: query %s: entry with %d leaves for %d relations",
-				qp.Name, len(e.Leaves), qp.NRels)
+		if len(e.Packed) != qp.NRels || len(e.Coefs) != qp.NRels {
+			return fmt.Errorf("plancache: query %s: entry with %d leaves and %d coefficients for %d relations",
+				qp.Name, len(e.Packed), len(e.Coefs), qp.NRels)
 		}
 		hw.u64(math.Float64bits(e.Internal))
-		for _, req := range e.Leaves {
-			if req.Mode < optimizer.AccessAny || req.Mode > optimizer.AccessLookup {
-				return fmt.Errorf("plancache: query %s: invalid access mode %d", qp.Name, req.Mode)
+		for rel, pk := range e.Packed {
+			if err := checkPackedLeaf(pk); err != nil {
+				return fmt.Errorf("plancache: query %s: %w", qp.Name, err)
 			}
-			hw.u8(uint8(req.Mode))
-			if req.Col == "" {
-				hw.u32(0)
-			} else {
-				hw.u32(poolIdx[req.Col] + 1)
-			}
-			hw.u64(math.Float64bits(req.Coef))
+			hw.u16(pk)
+			hw.u64(math.Float64bits(e.Coefs[rel]))
 		}
 	}
 	return hw.err
+}
+
+// checkPackedLeaf is the codec's structural validation of one packed leaf:
+// a known access mode, an order id present exactly when the mode requires
+// a column. Id range against the query's interning is ToCache's job (the
+// codec alone has no analysis).
+func checkPackedLeaf(pk uint16) error {
+	mode := optimizer.AccessMode(pk >> 14)
+	id := pk & (1<<14 - 1)
+	if mode > optimizer.AccessLookup {
+		return fmt.Errorf("invalid access mode %d in packed leaf", mode)
+	}
+	if (mode == optimizer.AccessAny) != (id == 0) {
+		return fmt.Errorf("packed leaf %#04x: mode %v with order id %d", pk, mode, id)
+	}
+	return nil
 }
 
 // reader decodes the byte stream with bounds checking and the same
@@ -356,12 +365,12 @@ func (r *reader) take(n int) ([]byte, error) {
 	return p, nil
 }
 
-func (r *reader) u8() (uint8, error) {
-	p, err := r.take(1)
+func (r *reader) u16() (uint16, error) {
+	p, err := r.take(2)
 	if err != nil {
 		return 0, err
 	}
-	return p[0], nil
+	return binary.LittleEndian.Uint16(p), nil
 }
 
 func (r *reader) u32() (uint32, error) {
@@ -395,7 +404,7 @@ func (r *reader) str() (string, error) {
 	return string(p), nil
 }
 
-// Decode reads a v1 snapshot, verifying the magic, version, structural
+// Decode reads a v2 snapshot, verifying the magic, version, structural
 // bounds and trailing checksum. It does NOT verify the fingerprint —
 // callers must compare Snapshot.Fingerprint against their environment's
 // (see Fingerprint) before trusting any stored cost.
@@ -462,25 +471,11 @@ func decodeQuery(r *reader, qp *QueryPlans) error {
 	}
 	qp.NRels = int(nRels)
 
-	nPool, err := r.u32()
-	if err != nil {
-		return err
-	}
-	if nPool > maxEntries || !r.canHold(nPool, 4) {
-		return fmt.Errorf("plancache: query %s: implausible column pool size %d", qp.Name, nPool)
-	}
-	pool := make([]string, nPool)
-	for i := range pool {
-		if pool[i], err = r.str(); err != nil {
-			return err
-		}
-	}
-
 	nEntries, err := r.u32()
 	if err != nil {
 		return err
 	}
-	if nEntries > maxEntries || !r.canHold(nEntries, 8+13*qp.NRels) {
+	if nEntries > maxEntries || !r.canHold(nEntries, 8+10*qp.NRels) {
 		return fmt.Errorf("plancache: query %s: implausible entry count %d", qp.Name, nEntries)
 	}
 	qp.Entries = make([]Entry, nEntries)
@@ -491,35 +486,22 @@ func decodeQuery(r *reader, qp *QueryPlans) error {
 			return err
 		}
 		e.Internal = math.Float64frombits(bits)
-		e.Leaves = make([]optimizer.LeafReq, qp.NRels)
-		for rel := range e.Leaves {
-			mode, err := r.u8()
+		e.Packed = make([]uint16, qp.NRels)
+		e.Coefs = make([]float64, qp.NRels)
+		for rel := range e.Packed {
+			pk, err := r.u16()
 			if err != nil {
 				return err
 			}
-			if mode > uint8(optimizer.AccessLookup) {
-				return fmt.Errorf("plancache: query %s: invalid access mode %d", qp.Name, mode)
-			}
-			colRef, err := r.u32()
-			if err != nil {
-				return err
-			}
-			col := ""
-			if colRef > 0 {
-				if int(colRef) > len(pool) {
-					return fmt.Errorf("plancache: query %s: column reference %d outside pool of %d", qp.Name, colRef, len(pool))
-				}
-				col = pool[colRef-1]
+			if err := checkPackedLeaf(pk); err != nil {
+				return fmt.Errorf("plancache: query %s: %w", qp.Name, err)
 			}
 			coefBits, err := r.u64()
 			if err != nil {
 				return err
 			}
-			e.Leaves[rel] = optimizer.LeafReq{
-				Mode: optimizer.AccessMode(mode),
-				Col:  col,
-				Coef: math.Float64frombits(coefBits),
-			}
+			e.Packed[rel] = pk
+			e.Coefs[rel] = math.Float64frombits(coefBits)
 		}
 	}
 	return nil

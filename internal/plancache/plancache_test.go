@@ -77,12 +77,11 @@ func TestRoundTripByteIdentical(t *testing.T) {
 			if math.Float64bits(e.Internal) != math.Float64bits(oe.Internal) {
 				t.Fatalf("%s entry %d internal bits changed", qp.Name, j)
 			}
-			for rel := range e.Leaves {
-				if e.Leaves[rel].Mode != oe.Leaves[rel].Mode ||
-					e.Leaves[rel].Col != oe.Leaves[rel].Col ||
-					math.Float64bits(e.Leaves[rel].Coef) != math.Float64bits(oe.Leaves[rel].Coef) {
-					t.Fatalf("%s entry %d leaf %d changed: %+v vs %+v",
-						qp.Name, j, rel, e.Leaves[rel], oe.Leaves[rel])
+			for rel := range e.Packed {
+				if e.Packed[rel] != oe.Packed[rel] ||
+					math.Float64bits(e.Coefs[rel]) != math.Float64bits(oe.Coefs[rel]) {
+					t.Fatalf("%s entry %d leaf %d changed: %#04x/%v vs %#04x/%v",
+						qp.Name, j, rel, e.Packed[rel], e.Coefs[rel], oe.Packed[rel], oe.Coefs[rel])
 				}
 			}
 		}
@@ -130,6 +129,25 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 		if _, err := Decode(mut); err == nil {
 			t.Fatalf("Decode accepted a snapshot with byte %d flipped", off)
 		}
+	}
+}
+
+// TestDecodeRejectsPreviousVersion pins the format-staleness contract for
+// the packed-leaf encoding: a v1 snapshot (per-leaf column strings through
+// a pool) presents the old version byte and must be rejected by the
+// version check with the stale-format error, not mis-parsed as v2.
+func TestDecodeRejectsPreviousVersion(t *testing.T) {
+	_, snap := starSnapshot(t, 42)
+	data := encodeToBytes(t, snap)
+	old := append([]byte(nil), data...)
+	old[7] = 1 // the previous format version
+	_, err := Decode(old)
+	if err == nil {
+		t.Fatal("Decode accepted a v1 snapshot")
+	}
+	want := "plancache: unsupported snapshot version 1 (want 2)"
+	if err.Error() != want {
+		t.Fatalf("v1 rejection error = %q, want %q", err, want)
 	}
 }
 

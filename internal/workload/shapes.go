@@ -34,11 +34,23 @@ const (
 	// ShapeRandom builds a random spanning tree plus extra edges chosen
 	// with probability Density.
 	ShapeRandom
+	// ShapeWideChain is a chain of more relations than the optimizer's
+	// packed plan keys hold (>16), exercising the wide fast-planner lane.
+	ShapeWideChain
+	// ShapeWideOrders joins two relations on enough distinct column
+	// pairs that one relation's interesting orders overflow the packed
+	// 6-bit column ids (>63).
+	ShapeWideOrders
+	// ShapeWideGroup groups on more columns than a packed output order
+	// holds (>8).
+	ShapeWideGroup
 )
 
 // Shapes lists every generated topology, in the order the fuzz decoder and
-// the experiment runner enumerate them.
-var Shapes = []Shape{ShapeChain, ShapeCycle, ShapeStar, ShapeSnowflake, ShapeClique, ShapeRandom}
+// the experiment runner enumerate them. New shapes append at the end: the
+// position of existing entries is the fuzz corpus ABI.
+var Shapes = []Shape{ShapeChain, ShapeCycle, ShapeStar, ShapeSnowflake, ShapeClique, ShapeRandom,
+	ShapeWideChain, ShapeWideOrders, ShapeWideGroup}
 
 func (s Shape) String() string {
 	switch s {
@@ -54,6 +66,12 @@ func (s Shape) String() string {
 		return "clique"
 	case ShapeRandom:
 		return "random"
+	case ShapeWideChain:
+		return "wide-chain"
+	case ShapeWideOrders:
+		return "wide-orders"
+	case ShapeWideGroup:
+		return "wide-group"
 	default:
 		return fmt.Sprintf("Shape(%d)", int(s))
 	}
@@ -62,7 +80,9 @@ func (s Shape) String() string {
 // ShapeSpec describes one generated query.
 type ShapeSpec struct {
 	Shape Shape
-	// Rels is the number of relations (clamped to [2, 12]).
+	// Rels is the number of relations (clamped to [2, 12]; ShapeWideChain
+	// clamps to [17, 24] instead, ShapeWideOrders and ShapeWideGroup fix
+	// their own relation counts).
 	Rels int
 	// Density applies to ShapeRandom: the probability of adding each
 	// non-spanning-tree edge (0 reproduces a random tree, 1 the clique).
@@ -91,10 +111,13 @@ func shapeEdges(spec ShapeSpec, n int, rng *rand.Rand) [][2]int {
 		edges = append(edges, e)
 	}
 	switch spec.Shape {
-	case ShapeChain:
+	case ShapeChain, ShapeWideChain, ShapeWideGroup:
 		for i := 0; i+1 < n; i++ {
 			add(i, i+1)
 		}
+	case ShapeWideOrders:
+		// No fk edges: ShapeQuery connects the two relations with
+		// wideJoinCols direct clauses instead.
 	case ShapeCycle:
 		for i := 0; i+1 < n; i++ {
 			add(i, i+1)
@@ -144,13 +167,32 @@ func shapeEdges(spec ShapeSpec, n int, rng *rand.Rand) [][2]int {
 // the requested topology, with randomized-but-deterministic table sizes,
 // 1 %-ish BETWEEN filters, and optional grouping and ordering. The same
 // spec always yields the same catalog and query.
+// wideJoinCols is the clause count of ShapeWideOrders: one more
+// interesting order on the wide relation than the optimizer's packed
+// 6-bit column ids can hold.
+const wideJoinCols = 64
+
 func ShapeQuery(spec ShapeSpec) (*catalog.Catalog, *query.Query, error) {
 	n := spec.Rels
-	if n < 2 {
+	switch spec.Shape {
+	case ShapeWideChain:
+		if n < 17 {
+			n = 17
+		}
+		if n > 24 {
+			n = 24
+		}
+	case ShapeWideOrders:
 		n = 2
-	}
-	if n > 12 {
-		n = 12
+	case ShapeWideGroup:
+		n = 3
+	default:
+		if n < 2 {
+			n = 2
+		}
+		if n > 12 {
+			n = 12
+		}
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	edges := shapeEdges(spec, n, rng)
@@ -183,7 +225,25 @@ func ShapeQuery(spec ShapeSpec) (*catalog.Catalog, *query.Query, error) {
 				NDV: ndv, Min: 1, Max: rows[e[1]], NotNull: true,
 			})
 		}
-		for a := 1; a <= 2; a++ {
+		if spec.Shape == ShapeWideOrders && i == 0 {
+			// The wide relation: one join column per clause, so its
+			// interesting orders overflow the packed ids.
+			for k := 0; k < wideJoinCols; k++ {
+				ndv := rows[1]
+				if ndv > rows[0] {
+					ndv = rows[0]
+				}
+				t.Columns = append(t.Columns, &catalog.Column{
+					Name: fmt.Sprintf("w%d", k), Type: catalog.Int,
+					NDV: ndv, Min: 1, Max: rows[1], NotNull: true,
+				})
+			}
+		}
+		attrs := 2
+		if spec.Shape == ShapeWideGroup {
+			attrs = 3 // three per relation: nine grouping columns below
+		}
+		for a := 1; a <= attrs; a++ {
 			t.Columns = append(t.Columns, &catalog.Column{
 				Name: fmt.Sprintf("a%d", a), Type: catalog.Int,
 				NDV: attrDomain, Min: 1, Max: attrDomain,
@@ -203,6 +263,14 @@ func ShapeQuery(spec ShapeSpec) (*catalog.Catalog, *query.Query, error) {
 			Left:  query.ColRef{Rel: e[0], Column: fmt.Sprintf("fk_t%d", e[1])},
 			Right: query.ColRef{Rel: e[1], Column: "id"},
 		})
+	}
+	if spec.Shape == ShapeWideOrders {
+		for k := 0; k < wideJoinCols; k++ {
+			q.Joins = append(q.Joins, query.Join{
+				Left:  query.ColRef{Rel: 0, Column: fmt.Sprintf("w%d", k)},
+				Right: query.ColRef{Rel: 1, Column: "id"},
+			})
+		}
 	}
 
 	// Two select columns from distinct relations, ~1 % BETWEEN filters on
@@ -230,6 +298,16 @@ func ShapeQuery(spec ShapeSpec) (*catalog.Catalog, *query.Query, error) {
 			ob = q.GroupBy[0]
 		}
 		q.OrderBy = []query.ColRef{ob}
+	}
+	if spec.Shape == ShapeWideGroup {
+		// Nine grouping columns: past the packed output-order capacity.
+		q.GroupBy = q.GroupBy[:0]
+		for i := 0; i < n; i++ {
+			for a := 1; a <= 3; a++ {
+				q.GroupBy = append(q.GroupBy, query.ColRef{Rel: i, Column: fmt.Sprintf("a%d", a)})
+			}
+		}
+		q.OrderBy = nil
 	}
 	if err := q.Validate(); err != nil {
 		return nil, nil, err

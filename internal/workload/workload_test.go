@@ -193,8 +193,17 @@ func TestShapeQueryTopologies(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%d: %v", sh, n, err)
 			}
-			if len(q.Rels) != n {
-				t.Fatalf("%s/%d: %d relations", sh, n, len(q.Rels))
+			wantRels := n
+			switch sh {
+			case ShapeWideChain:
+				wantRels = 17 // clamped up past the packed 16-relation cap
+			case ShapeWideOrders:
+				wantRels = 2
+			case ShapeWideGroup:
+				wantRels = 3
+			}
+			if len(q.Rels) != wantRels {
+				t.Fatalf("%s/%d: %d relations, want %d", sh, n, len(q.Rels), wantRels)
 			}
 			if err := q.Validate(); err != nil {
 				t.Fatalf("%s/%d: %v", sh, n, err)
@@ -213,6 +222,10 @@ func TestShapeQueryTopologies(t *testing.T) {
 				}
 			case ShapeClique:
 				wantJoins = n * (n - 1) / 2
+			case ShapeWideChain, ShapeWideGroup:
+				wantJoins = wantRels - 1
+			case ShapeWideOrders:
+				wantJoins = wideJoinCols
 			}
 			if wantJoins >= 0 && len(q.Joins) != wantJoins {
 				t.Errorf("%s/%d: %d joins, want %d", sh, n, len(q.Joins), wantJoins)
