@@ -1,19 +1,34 @@
 // Command pinum-serve is the what-if serving daemon: it loads (or builds
-// and saves) a slim plan-cache snapshot for the star-schema workload once
-// at startup, then answers configuration questions over HTTP with pure
-// cost arithmetic — no optimizer calls per request.
+// and saves) a slim plan-cache snapshot for the star-schema workload,
+// then answers configuration questions over HTTP with pure cost
+// arithmetic — no optimizer calls per request. The snapshot is hot: a
+// SIGHUP or POST /reload re-derives the statistics, rebuilds only what
+// moved, and swaps the new snapshot in atomically while traffic keeps
+// flowing; a failed reload leaves the old snapshot serving (degraded,
+// with automatic retry).
 //
 //	pinum-serve -snapshot star.pcache                 # load or build+save, then serve
 //	pinum-serve -snapshot star.pcache -save-exit      # build the snapshot and exit
 //	pinum-serve -addr 127.0.0.1:8093                  # serve address
+//	pinum-serve -stats-overrides drift.json           # {"table": rows} applied on every (re)load
+//	kill -HUP $(pidof pinum-serve)                    # trigger a hot reload
 //
 // Endpoints (JSON in, JSON out):
 //
 //	POST /whatif     {"indexes":[{"table":"fact","columns":["a1"]}]}
 //	POST /recommend  {"budget_gb":5,"max_indexes":0}
 //	POST /explain    {"sql":"SELECT ...","indexes":[...]}
-//	GET  /healthz    liveness + cache shape
-//	GET  /statz      per-endpoint latency/throughput counters
+//	POST /reload     hot reload (?wait=1 synchronous, ?force=1 full rebuild)
+//	GET  /healthz    liveness + snapshot shape (always 200; status ok|degraded|starting)
+//	GET  /readyz     readiness (503 until the first snapshot; -strict-health adds degraded)
+//	GET  /statz      per-endpoint latency/throughput + reload/panic/admission counters
+//
+// Lifecycle: the HTTP server runs with read/write/idle timeouts, compute
+// requests run behind per-request deadlines (-request-timeout), panic
+// recovery and admission control (-max-in-flight → 429), and SIGTERM or
+// SIGINT drains in-flight requests for up to -drain-timeout before exit.
+// The PINUM_FAULTPOINTS environment variable (name=mode[:count] pairs,
+// comma-separated) arms fault-injection points for robustness drills.
 //
 // CI's serve smoke uses the verify modes: after curling a served
 // response to a file, -verify-whatif/-verify-recommend recompute the
@@ -27,19 +42,23 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/pinumdb/pinum/internal/advisor"
 	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/faultpoint"
 	"github.com/pinumdb/pinum/internal/optimizer"
-	"github.com/pinumdb/pinum/internal/query"
 	"github.com/pinumdb/pinum/internal/serve"
 	"github.com/pinumdb/pinum/internal/storage"
 	"github.com/pinumdb/pinum/internal/workload"
@@ -52,82 +71,184 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool for request evaluation and snapshot builds (0 = all CPUs)")
 	snapshot := flag.String("snapshot", "", "plan-cache snapshot path: loaded when present and fresh, else built and saved")
 	saveExit := flag.Bool("save-exit", false, "build/refresh the snapshot and exit without serving")
+	statsOverrides := flag.String("stats-overrides", "",
+		`JSON file {"table": rows} re-read and applied on every (re)load — statistics drift injection`)
+	requestTimeout := flag.Duration("request-timeout", serve.DefaultRequestTimeout,
+		"per-request evaluation deadline for compute endpoints (negative = none)")
+	maxInFlight := flag.Int("max-in-flight", serve.DefaultMaxInFlight,
+		"max concurrently evaluating compute requests before 429 (negative = unlimited)")
+	strictHealth := flag.Bool("strict-health", false, "make /readyz return 503 while the server is degraded")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"grace period for in-flight requests on SIGTERM/SIGINT")
 	verifyWhatIf := flag.String("verify-whatif", "", "req.json:resp.json — recompute /whatif in-process and compare")
 	verifyRecommend := flag.String("verify-recommend", "", "req.json:resp.json — recompute /recommend via a plain in-process Advisor.Run and compare")
 	flag.Parse()
 
-	star, err := workload.StarSchema(*scale)
-	if err != nil {
+	if err := faultpoint.ConfigureFromEnv(os.Getenv("PINUM_FAULTPOINTS")); err != nil {
 		fatal(err)
 	}
-	queries, err := star.Queries(*seed)
-	if err != nil {
-		fatal(err)
-	}
-	analyses := make([]*optimizer.Analysis, len(queries))
-	for i, q := range queries {
-		if analyses[i], err = optimizer.NewAnalysis(q, star.Stats, optimizer.DefaultCostParams()); err != nil {
-			fatal(err)
-		}
+
+	loader := func() (*serve.Environment, error) {
+		return loadEnvironment(*scale, *seed, *statsOverrides)
 	}
 
 	if *verifyWhatIf != "" || *verifyRecommend != "" {
-		if err := verify(star, queries, analyses, *workers, *verifyWhatIf, *verifyRecommend); err != nil {
+		env, err := loader()
+		if err != nil {
+			fatal(err)
+		}
+		if err := verify(env, *workers, *verifyWhatIf, *verifyRecommend); err != nil {
 			fatal(err)
 		}
 		fmt.Println("verify: served responses match the in-process results")
 		return
 	}
 
-	buildStart := time.Now()
-	caches, buildReason, err := serve.LoadOrBuild(star.Catalog, star.Stats, queries, analyses, *snapshot, *workers)
-	if err != nil {
-		fatal(err)
-	}
-	entries, bytesTotal := 0, int64(0)
-	for _, c := range caches {
-		m := c.MemStats()
-		entries += m.Entries
-		bytesTotal += m.TotalBytes()
-	}
-	how := "loaded from " + *snapshot
-	if buildReason != "" {
-		how = "built with 2 optimizer calls/query: " + buildReason
-		if *snapshot != "" {
-			how += ", saved to " + *snapshot
-		}
-	}
-	log.Printf("caches ready in %v: %d queries, %d entries, ~%.1f KB (%s)",
-		time.Since(buildStart).Round(time.Millisecond), len(queries), entries, float64(bytesTotal)/1024, how)
 	if *saveExit {
+		env, err := loader()
+		if err != nil {
+			fatal(err)
+		}
+		buildStart := time.Now()
+		caches, buildReason, err := serve.LoadOrBuild(env.Catalog, env.Stats, env.Queries, env.Analyses, *snapshot, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		entries, bytesTotal := 0, int64(0)
+		for _, c := range caches {
+			m := c.MemStats()
+			entries += m.Entries
+			bytesTotal += m.TotalBytes()
+		}
+		how := "loaded from " + *snapshot
+		if buildReason != "" {
+			how = "built with 2 optimizer calls/query: " + buildReason
+			if *snapshot != "" {
+				how += ", saved to " + *snapshot
+			}
+		}
+		log.Printf("caches ready in %v: %d queries, %d entries, ~%.1f KB (%s)",
+			time.Since(buildStart).Round(time.Millisecond), len(env.Queries), entries, float64(bytesTotal)/1024, how)
 		return
 	}
 
 	srv, err := serve.New(serve.Config{
-		Catalog:  star.Catalog,
-		Stats:    star.Stats,
-		Queries:  queries,
-		Analyses: analyses,
-		Caches:   caches,
-		Workers:  *workers,
+		Loader:         loader,
+		SnapshotPath:   *snapshot,
+		Workers:        *workers,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *requestTimeout,
+		StrictHealth:   *strictHealth,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("serving /whatif /recommend /explain /healthz /statz on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	defer srv.Close()
+
+	loadStart := time.Now()
+	out, err := srv.ReloadNow(false)
+	if err != nil {
+		fatal(fmt.Errorf("initial snapshot load: %w", err))
+	}
+	log.Printf("snapshot ready in %v: fingerprint=%s source=%s",
+		time.Since(loadStart).Round(time.Millisecond), out.Fingerprint, out.SnapshotSource)
+
+	// WriteTimeout must outlast the slowest admitted request, or the
+	// connection dies mid-response after a long (but successful) compute.
+	writeTimeout := time.Minute
+	if *requestTimeout > 0 && 2**requestTimeout > writeTimeout {
+		writeTimeout = 2 * *requestTimeout
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		for sig := range sigs {
+			if sig == syscall.SIGHUP {
+				log.Printf("SIGHUP: snapshot reload triggered")
+				if !srv.TriggerReload(false) {
+					log.Printf("reload already pending; SIGHUP coalesced")
+				}
+				continue
+			}
+			log.Printf("%v: draining in-flight requests (up to %v)", sig, *drainTimeout)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := hs.Shutdown(ctx); err != nil {
+				log.Printf("drain cut short: %v", err)
+			}
+			cancel()
+			close(drained)
+			return
+		}
+	}()
+
+	log.Printf("serving /whatif /recommend /explain /reload /healthz /readyz /statz on %s", *addr)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	<-drained
+	log.Printf("drained; exiting")
+}
+
+// loadEnvironment derives one consistent serving world from scratch: a
+// fresh star schema at the given scale, the overrides file applied on
+// top, and the analysed seed workload. Building everything anew on every
+// call is what makes hot reloads safe — the environment a reload is
+// assembling shares nothing mutable with the one traffic is reading.
+func loadEnvironment(scale float64, seed int64, overridesPath string) (*serve.Environment, error) {
+	star, err := workload.StarSchema(scale)
+	if err != nil {
+		return nil, err
+	}
+	if overridesPath != "" {
+		data, err := os.ReadFile(overridesPath)
+		if err != nil {
+			return nil, fmt.Errorf("stats overrides: %w", err)
+		}
+		var overrides map[string]int64
+		if err := json.Unmarshal(data, &overrides); err != nil {
+			return nil, fmt.Errorf("stats overrides %s: %w", overridesPath, err)
+		}
+		for table, rows := range overrides {
+			if err := star.SetTableRows(table, rows); err != nil {
+				return nil, fmt.Errorf("stats overrides %s: %w", overridesPath, err)
+			}
+		}
+	}
+	queries, err := star.Queries(seed)
+	if err != nil {
+		return nil, err
+	}
+	analyses := make([]*optimizer.Analysis, len(queries))
+	for i, q := range queries {
+		if analyses[i], err = optimizer.NewAnalysis(q, star.Stats, optimizer.DefaultCostParams()); err != nil {
+			return nil, err
+		}
+	}
+	return &serve.Environment{
+		Catalog:  star.Catalog,
+		Stats:    star.Stats,
+		Queries:  queries,
+		Analyses: analyses,
+	}, nil
 }
 
 // verify recomputes served responses from scratch — freshly built
 // tree-backed caches for /whatif, a plain advisor.Run for /recommend —
 // and byte-compares the JSON against the served bodies. It exercises the
 // full snapshot+slim+serve pipeline against the unsliced in-process path.
-func verify(star *workload.Star, queries []*query.Query, analyses []*optimizer.Analysis,
-	workers int, whatIfSpec, recommendSpec string) error {
-
-	caches, err := core.BuildAll(analyses, star.Catalog, workers, false)
+func verify(env *serve.Environment, workers int, whatIfSpec, recommendSpec string) error {
+	caches, err := core.BuildAll(env.Analyses, env.Catalog, workers, false)
 	if err != nil {
 		return err
 	}
@@ -146,8 +267,8 @@ func verify(star *workload.Star, queries []*query.Query, analyses []*optimizer.A
 		// slim, snapshot-loaded caches; bit-identity means byte-equal
 		// JSON.
 		srv, err := serve.New(serve.Config{
-			Catalog: star.Catalog, Stats: star.Stats,
-			Queries: queries, Analyses: analyses, Caches: caches, Workers: workers,
+			Catalog: env.Catalog, Stats: env.Stats,
+			Queries: env.Queries, Analyses: env.Analyses, Caches: caches, Workers: workers,
 		})
 		if err != nil {
 			return err
@@ -170,11 +291,11 @@ func verify(star *workload.Star, queries []*query.Query, analyses []*optimizer.A
 		if err := readJSON(reqPath, &req); err != nil {
 			return err
 		}
-		ad := advisor.New(star.Catalog, star.Stats, storage.BytesForGB(req.BudgetGB))
+		ad := advisor.New(env.Catalog, env.Stats, storage.BytesForGB(req.BudgetGB))
 		ad.Parallelism = workers
 		ad.MaxIndexes = req.MaxIndexes
-		for i, q := range queries {
-			if err := ad.AddPrepared(q, analyses[i], caches[i], 1); err != nil {
+		for i, q := range env.Queries {
+			if err := ad.AddPrepared(q, env.Analyses[i], caches[i], 1); err != nil {
 				return err
 			}
 		}
@@ -182,7 +303,7 @@ func verify(star *workload.Star, queries []*query.Query, analyses []*optimizer.A
 		if err != nil {
 			return err
 		}
-		if err := compareJSON("recommend", respPath, serve.RecommendResponseFrom(res, queries)); err != nil {
+		if err := compareJSON("recommend", respPath, serve.RecommendResponseFrom(res, env.Queries)); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -22,8 +23,20 @@ type BuildFunc func(*optimizer.Analysis, *whatif.Session) (*inum.Cache, error)
 // regardless of scheduling. workers <= 0 means GOMAXPROCS; workers == 1
 // degenerates to one worker goroutine processing jobs in input order.
 func Fan(n, workers int, newWorker func() func(i int)) {
+	FanCtx(context.Background(), n, workers, newWorker)
+}
+
+// FanCtx is Fan with cancellation: once ctx is done no further jobs are
+// dispatched, in-flight jobs finish, and ctx.Err() is returned (nil when
+// every job was dispatched first). A serving layer threads each request's
+// context through here so a disconnected client or an expired deadline
+// stops burning workers on per-query evaluations nobody will read.
+// Callers must treat their result slices as incomplete whenever the
+// returned error is non-nil: indexes past the cancellation point were
+// never evaluated.
+func FanCtx(ctx context.Context, n, workers int, newWorker func() func(i int)) error {
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -43,11 +56,28 @@ func Fan(n, workers int, newWorker func() func(i int)) {
 			}
 		}()
 	}
+	var err error
+dispatch:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		// Check cancellation first: a plain two-case select picks
+		// uniformly among ready cases, which would keep dispatching
+		// roughly half the remaining jobs after the context died.
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		default:
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	return err
 }
 
 // BuildAllWith fills one plan cache per analysis across a bounded worker

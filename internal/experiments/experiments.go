@@ -809,11 +809,11 @@ func RunE6(env *Env) (*E6Result, error) {
 		}
 
 		res.Rows = append(res.Rows, E6Row{
-			Shape:        spec.Shape.String(),
-			Rels:         len(q.Rels),
-			Joins:        len(q.Joins),
-			FastStates:   fast.Stats.EnumStates,
-			DenseStates:  ref.Stats.EnumStates,
+			Shape:             spec.Shape.String(),
+			Rels:              len(q.Rels),
+			Joins:             len(q.Joins),
+			FastStates:        fast.Stats.EnumStates,
+			DenseStates:       ref.Stats.EnumStates,
 			MasksSkipped:      fast.Stats.MasksSkipped,
 			Exported:          len(fast.Exported),
 			FrontierInserts:   fast.Stats.FrontierInserts,

@@ -1,0 +1,115 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDormantPointReturnsNil(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Hit("never.configured"); err != nil {
+		t.Fatalf("dormant point returned %v", err)
+	}
+}
+
+func TestErrorInjectionAndCounting(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Set("p.err", "error"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := Hit("p.err")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if got := Count("p.err"); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	// Once any fault is armed in the process, other points count too.
+	Hit("p.other")
+	if got := Count("p.other"); got != 1 {
+		t.Fatalf("unarmed point count = %d, want 1", got)
+	}
+}
+
+func TestCountLimitedFaultHeals(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Set("p.twice", "error:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("p.twice"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first hit: %v", err)
+	}
+	if err := Hit("p.twice"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second hit: %v", err)
+	}
+	if err := Hit("p.twice"); err != nil {
+		t.Fatalf("third hit should heal, got %v", err)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Set("p.boom", "panic:1"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected an injected panic")
+			}
+		}()
+		Hit("p.boom")
+	}()
+	if err := Hit("p.boom"); err != nil {
+		t.Fatalf("after the one panic the point should be dormant, got %v", err)
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Set("p.slow", "delay=30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("p.slow"); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 25*time.Millisecond {
+		t.Fatalf("delay fault slept %v, want >= ~30ms", took)
+	}
+}
+
+func TestClearDisarms(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Set("p.clear", "error"); err != nil {
+		t.Fatal(err)
+	}
+	Clear("p.clear")
+	if err := Hit("p.clear"); err != nil {
+		t.Fatalf("cleared point returned %v", err)
+	}
+}
+
+func TestConfigureFromEnv(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := ConfigureFromEnv("a.b=error:1; c.d=delay=1ms ;"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("a.b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a.b: %v", err)
+	}
+	if err := Hit("c.d"); err != nil {
+		t.Fatalf("c.d: %v", err)
+	}
+	if err := ConfigureFromEnv(""); err != nil {
+		t.Fatalf("empty value: %v", err)
+	}
+	for _, bad := range []string{"nospec", "x=unknown", "x=delay=zzz", "x=error:-1"} {
+		if err := ConfigureFromEnv(bad); err == nil {
+			t.Errorf("ConfigureFromEnv(%q) accepted", bad)
+		}
+	}
+}

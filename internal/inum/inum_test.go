@@ -5,8 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
-	"unsafe"
 	"testing"
+	"unsafe"
 
 	"github.com/pinumdb/pinum/internal/catalog"
 	"github.com/pinumdb/pinum/internal/optimizer"

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicOnly enforces accessor discipline on hot-swapped state: a struct
+// field annotated
+//
+//	//pinum:atomic-only current,swap
+//
+// may only be touched inside the named functions. The serving layer's
+// whole reload-safety argument is that a request loads the snapshot-set
+// pointer exactly once and never looks again — which holds only if every
+// read goes through the accessor that does the single Load. A handler
+// that reaches the atomic field directly can observe two different sets
+// within one request (base costs from one, caches from another) the
+// moment a reload lands between its loads; this analyzer turns that
+// hazard into a build failure instead of an unluckily-timed test flake.
+var AtomicOnly = &Analyzer{
+	Name: "atomiconly",
+	Doc: "flag accesses to //pinum:atomic-only struct fields outside their declared accessor " +
+		"functions, so hot-swapped snapshot state is only reached through the single-Load accessors",
+	Run: runAtomicOnly,
+}
+
+// atomicRule is one annotated field with its allowlisted accessors.
+type atomicRule struct {
+	field   *types.Var
+	allowed map[string]bool
+	list    string
+}
+
+func runAtomicOnly(pass *Pass) error {
+	var rules []atomicRule
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				dir, ok := fieldDirective(pass, fld, DirAtomicOnly)
+				if !ok {
+					continue
+				}
+				allowed := make(map[string]bool)
+				for _, name := range strings.Split(dir.Arg, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						allowed[name] = true
+					}
+				}
+				for _, id := range fld.Names {
+					if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+						rules = append(rules, atomicRule{field: v, allowed: allowed, list: dir.Arg})
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			for _, r := range rules {
+				if obj != r.field {
+					continue
+				}
+				fn := enclosingFunc(pass.Files, sel.Pos())
+				if fn != nil && r.allowed[fn.Name.Name] {
+					continue
+				}
+				where := "package scope"
+				if fn != nil {
+					where = fn.Name.Name
+				}
+				pass.Reportf(sel.Pos(),
+					"%s is declared //pinum:atomic-only and may only be accessed inside %s (found in %s); a direct access can observe two different snapshot sets in one request — go through the accessor's single Load",
+					exprString(sel), r.list, where)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldDirective finds a directive attached to a struct field: in its doc
+// comment group, on its own line, or on the line directly above.
+func fieldDirective(pass *Pass, fld *ast.Field, name string) (Directive, bool) {
+	tf := pass.Fset.File(fld.Pos())
+	line := tf.Line(fld.Pos())
+	for _, d := range pass.Directives.byFile[tf] {
+		if d.Name != name {
+			continue
+		}
+		if d.Line == line || d.Line == line-1 {
+			return d, true
+		}
+		if fld.Doc != nil && d.Pos >= fld.Doc.Pos() && d.Pos <= fld.Doc.End() {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

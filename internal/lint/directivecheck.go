@@ -15,11 +15,15 @@ func runDirectiveCheck(pass *Pass) error {
 	for _, d := range pass.Directives.All() {
 		needsArg, known := KnownDirectives[d.Name]
 		if !known {
-			pass.Reportf(d.Pos, "unknown directive //pinum:%s (known: alloc-ok, costarith-ok, hotpath, nondeterministic-ok, sealed-ok)", d.Name)
+			pass.Reportf(d.Pos, "unknown directive //pinum:%s (known: alloc-ok, atomic-only, costarith-ok, hotpath, nondeterministic-ok, sealed-ok)", d.Name)
 			continue
 		}
 		if needsArg && d.Arg == "" {
-			pass.Reportf(d.Pos, "//pinum:%s requires a justification: say why the invariant holds at this site", d.Name)
+			if d.Name == DirAtomicOnly {
+				pass.Reportf(d.Pos, "//pinum:%s requires the comma-separated list of accessor functions allowed to touch the field", d.Name)
+			} else {
+				pass.Reportf(d.Pos, "//pinum:%s requires a justification: say why the invariant holds at this site", d.Name)
+			}
 		}
 	}
 	return nil
@@ -27,5 +31,5 @@ func runDirectiveCheck(pass *Pass) error {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, SealedMut, CostArith, Hotpath, DirectiveCheck}
+	return []*Analyzer{Determinism, SealedMut, CostArith, Hotpath, AtomicOnly, DirectiveCheck}
 }

@@ -32,6 +32,7 @@ const (
 	DirCostArithOK        = "costarith-ok"        // suppress costarith
 	DirHotpath            = "hotpath"             // mark a hot function
 	DirAllocOK            = "alloc-ok"            // suppress hotpath
+	DirAtomicOnly         = "atomic-only"         // restrict a swapped field to named accessors
 )
 
 // KnownDirectives maps every valid directive name to whether it is a
@@ -42,6 +43,7 @@ var KnownDirectives = map[string]bool{
 	DirCostArithOK:        true,
 	DirHotpath:            false,
 	DirAllocOK:            true,
+	DirAtomicOnly:         true, // the argument is the accessor allowlist
 }
 
 // Directives indexes every //pinum: comment of a package by file.

@@ -78,6 +78,16 @@ func TestHotpathAllowsFastplanDiscipline(t *testing.T) {
 		lint.PkgPath("internal/optimizer"), lint.Hotpath)
 }
 
+func TestAtomicOnlyFlagsDirectAccess(t *testing.T) {
+	linttest.Run(t, fixture("atomiconly", "flag"),
+		lint.PkgPath("internal/lintfixture"), lint.AtomicOnly)
+}
+
+func TestAtomicOnlyAllowsAccessorDiscipline(t *testing.T) {
+	linttest.Run(t, fixture("atomiconly", "ok"),
+		lint.PkgPath("internal/lintfixture"), lint.AtomicOnly)
+}
+
 func TestDirectiveCheckFlagsVocabularyMistakes(t *testing.T) {
 	linttest.Run(t, fixture("directive", "flag"),
 		lint.PkgPath("internal/lintfixture"), lint.DirectiveCheck)

@@ -1,0 +1,42 @@
+// Package atomicfix seeds accessor-discipline violations on a
+// hot-swapped snapshot field: every direct touch outside the declared
+// accessors can observe two different snapshot sets within one request.
+package atomicfix
+
+import "sync/atomic"
+
+type snapshot struct {
+	total float64
+}
+
+type server struct {
+	// cur is the live snapshot set.
+	//pinum:atomic-only current,swap
+	cur atomic.Pointer[snapshot]
+
+	requests atomic.Int64 // unannotated sibling, free to use anywhere
+}
+
+func (s *server) current() *snapshot { return s.cur.Load() }
+func (s *server) swap(v *snapshot)   { s.cur.Store(v) }
+
+// sneakyRead bypasses the accessor: a second Load in the same request
+// can return a different set than the first.
+func (s *server) sneakyRead() float64 {
+	return s.cur.Load().total // want "atomic-only"
+}
+
+// sneakyPublish bypasses the swap accessor.
+func (s *server) sneakyPublish(v *snapshot) {
+	s.cur.Store(v) // want "atomic-only"
+}
+
+// sneakyCAS is still a direct access even though it is atomic.
+func (s *server) sneakyCAS(old, v *snapshot) bool {
+	return s.cur.CompareAndSwap(old, v) // want "atomic-only"
+}
+
+// counters may touch the unannotated field freely.
+func (s *server) counters() int64 {
+	return s.requests.Load()
+}

@@ -1,0 +1,34 @@
+// Package atomicok mirrors the serving layer's accessor discipline: the
+// swapped field is only reached inside its declared accessors, and every
+// consumer goes through them — no diagnostics expected.
+package atomicok
+
+import "sync/atomic"
+
+type snapshot struct {
+	total float64
+}
+
+type server struct {
+	// cur is the live snapshot set; handlers load it exactly once per
+	// request through current().
+	//pinum:atomic-only current,swap
+	cur atomic.Pointer[snapshot]
+}
+
+func (s *server) current() *snapshot { return s.cur.Load() }
+func (s *server) swap(v *snapshot)   { s.cur.Store(v) }
+
+// handler loads the set once and uses that one set throughout.
+func (s *server) handler() float64 {
+	set := s.current()
+	if set == nil {
+		return 0
+	}
+	return set.total
+}
+
+// reload builds off-line and publishes through the accessor.
+func (s *server) reload() {
+	s.swap(&snapshot{total: 1})
+}

@@ -29,7 +29,9 @@ package plancache
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"io"
 	"math"
@@ -37,6 +39,7 @@ import (
 	"path/filepath"
 
 	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/faultpoint"
 	"github.com/pinumdb/pinum/internal/inum"
 	"github.com/pinumdb/pinum/internal/optimizer"
 	"github.com/pinumdb/pinum/internal/query"
@@ -138,6 +141,84 @@ func ToCache(a *optimizer.Analysis, qp QueryPlans) (*inum.Cache, error) {
 	return c, nil
 }
 
+// fpHasher streams fingerprint fields into an FNV-1a hash with a reused
+// length buffer, so Fingerprint and TableFingerprints hash the exact same
+// field sequence per table.
+type fpHasher struct {
+	h   hash.Hash64
+	buf []byte
+}
+
+func newFPHasher() *fpHasher {
+	return &fpHasher{h: fnv.New64a(), buf: make([]byte, 8)}
+}
+
+func (f *fpHasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(f.buf, v)
+	f.h.Write(f.buf)
+}
+func (f *fpHasher) i64(v int64)   { f.u64(uint64(v)) }
+func (f *fpHasher) f64(v float64) { f.u64(math.Float64bits(v)) }
+func (f *fpHasher) str(s string) {
+	f.u64(uint64(len(s)))
+	io.WriteString(f.h, s)
+}
+
+// params hashes the cost-model parameters every stored cost depends on.
+func (f *fpHasher) params(params optimizer.CostParams) {
+	f.f64(params.SeqPageCost)
+	f.f64(params.RandomPageCost)
+	f.f64(params.CPUTupleCost)
+	f.f64(params.CPUIndexTupleCost)
+	f.f64(params.CPUOperatorCost)
+}
+
+// table hashes one catalog table: row counts, pages, columns with
+// widths/NDVs/domains, the statistics attached to each column, and the
+// foreign keys.
+func (f *fpHasher) table(t *catalog.Table, st *stats.Store) {
+	f.str(t.Name)
+	f.i64(t.RowCount)
+	f.i64(t.Pages)
+	for _, col := range t.Columns {
+		f.str(col.Name)
+		f.i64(int64(col.Type))
+		f.i64(int64(col.AvgWidth))
+		f.i64(col.NDV)
+		f.i64(col.Min)
+		f.i64(col.Max)
+		if col.NotNull {
+			f.u64(1)
+		} else {
+			f.u64(0)
+		}
+		if st == nil {
+			continue
+		}
+		cs := st.Get(t.Name, col.Name)
+		if cs == nil {
+			continue
+		}
+		f.str("stats")
+		f.i64(cs.Rows)
+		f.i64(cs.Distinct)
+		f.i64(cs.Min)
+		f.i64(cs.Max)
+		if cs.Hist != nil {
+			f.i64(cs.Hist.Rows)
+			f.i64(cs.Hist.Distinct)
+			for _, b := range cs.Hist.Bounds {
+				f.i64(b)
+			}
+		}
+	}
+	for _, fk := range t.ForeignKeys {
+		f.str(fk.Column)
+		f.str(fk.RefTable)
+		f.str(fk.RefColumn)
+	}
+}
+
 // Fingerprint hashes everything the stored costs depend on: every catalog
 // table (row counts, pages, columns with widths/NDVs/domains, foreign
 // keys) in registration order, the statistics attached to each of its
@@ -146,67 +227,32 @@ func ToCache(a *optimizer.Analysis, qp QueryPlans) (*inum.Cache, error) {
 // exact under the other; any schema, statistics or parameter drift
 // changes the fingerprint and gets the snapshot rejected at load.
 func Fingerprint(cat *catalog.Catalog, st *stats.Store, params optimizer.CostParams) uint64 {
-	h := fnv.New64a()
-	buf := make([]byte, 8)
-	wu := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf, v)
-		h.Write(buf)
-	}
-	wi := func(v int64) { wu(uint64(v)) }
-	wf := func(v float64) { wu(math.Float64bits(v)) }
-	ws := func(s string) {
-		wu(uint64(len(s)))
-		io.WriteString(h, s)
-	}
-	ws("pinum-plancache-fp-v1")
-	wf(params.SeqPageCost)
-	wf(params.RandomPageCost)
-	wf(params.CPUTupleCost)
-	wf(params.CPUIndexTupleCost)
-	wf(params.CPUOperatorCost)
+	f := newFPHasher()
+	f.str("pinum-plancache-fp-v1")
+	f.params(params)
 	for _, t := range cat.Tables() {
-		ws(t.Name)
-		wi(t.RowCount)
-		wi(t.Pages)
-		for _, col := range t.Columns {
-			ws(col.Name)
-			wi(int64(col.Type))
-			wi(int64(col.AvgWidth))
-			wi(col.NDV)
-			wi(col.Min)
-			wi(col.Max)
-			if col.NotNull {
-				wu(1)
-			} else {
-				wu(0)
-			}
-			if st == nil {
-				continue
-			}
-			cs := st.Get(t.Name, col.Name)
-			if cs == nil {
-				continue
-			}
-			ws("stats")
-			wi(cs.Rows)
-			wi(cs.Distinct)
-			wi(cs.Min)
-			wi(cs.Max)
-			if cs.Hist != nil {
-				wi(cs.Hist.Rows)
-				wi(cs.Hist.Distinct)
-				for _, b := range cs.Hist.Bounds {
-					wi(b)
-				}
-			}
-		}
-		for _, fk := range t.ForeignKeys {
-			ws(fk.Column)
-			ws(fk.RefTable)
-			ws(fk.RefColumn)
-		}
+		f.table(t, st)
 	}
-	return h.Sum64()
+	return f.h.Sum64()
+}
+
+// TableFingerprints hashes each catalog table independently (same field
+// walk as Fingerprint, same cost parameters mixed into every hash). Two
+// environments agreeing on a table's fingerprint cost every plan touching
+// only that table's statistics identically, so a reload can re-optimize
+// just the queries whose referenced tables moved and reuse the rest of
+// the snapshot verbatim.
+func TableFingerprints(cat *catalog.Catalog, st *stats.Store, params optimizer.CostParams) map[string]uint64 {
+	tables := cat.Tables()
+	out := make(map[string]uint64, len(tables))
+	for _, t := range tables {
+		f := newFPHasher()
+		f.str("pinum-plancache-tablefp-v1")
+		f.params(params)
+		f.table(t, st)
+		out[t.Name] = f.h.Sum64()
+	}
+	return out
 }
 
 // ------------------------------------------------------------- codec ----
@@ -409,6 +455,9 @@ func (r *reader) str() (string, error) {
 // callers must compare Snapshot.Fingerprint against their environment's
 // (see Fingerprint) before trusting any stored cost.
 func Decode(data []byte) (*Snapshot, error) {
+	if err := faultpoint.Hit("plancache.decode"); err != nil {
+		return nil, fmt.Errorf("plancache: %w", err)
+	}
 	r := &reader{buf: data, sum: fnvOffset}
 	head, err := r.take(8)
 	if err != nil {
@@ -537,10 +586,20 @@ func BuildCaches(snap *Snapshot, queries []*query.Query, analyses []*optimizer.A
 
 // ------------------------------------------------------------- files ----
 
-// Save encodes the snapshot and writes it atomically: encode in memory,
-// write a temp file beside the target, then rename over it. A crash
-// mid-save or a concurrent reader therefore sees either the old complete
-// snapshot or the new one, never a torn file.
+// ErrPartialWrite marks a snapshot save that failed before its bytes were
+// durably on disk: the temp-file write, fsync or close went wrong, so the
+// target file was never replaced. Callers distinguish this (retryable,
+// old snapshot intact) from encode errors with errors.Is.
+var ErrPartialWrite = errors.New("plancache: partial snapshot write")
+
+// Save encodes the snapshot and writes it crash-safely: encode in memory,
+// write a temp file beside the target, fsync the temp file, rename it
+// over the target, then fsync the parent directory so the rename itself
+// is durable. A crash mid-save or a concurrent reader therefore sees
+// either the old complete snapshot or the new one, never a torn file —
+// and a crash right after Save returns cannot roll the rename back or
+// resurrect unsynced bytes. Failures on the temp-file path are wrapped in
+// ErrPartialWrite; the target is only replaced by fully synced bytes.
 func Save(path string, s *Snapshot) error {
 	var buf bytes.Buffer
 	if err := Encode(&buf, s); err != nil {
@@ -548,23 +607,56 @@ func Save(path string, s *Snapshot) error {
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrPartialWrite, err)
+	}
+	if ferr := faultpoint.Hit("plancache.save.write"); ferr != nil {
+		// Simulate a torn write followed by a crash: half the bytes reach
+		// the temp file and nothing cleans it up. The live snapshot must
+		// survive this — the rename below never runs.
+		tmp.Write(buf.Bytes()[:buf.Len()/2])
+		tmp.Close()
+		return fmt.Errorf("%w: %w", ErrPartialWrite, ferr)
 	}
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return err
+		return fmt.Errorf("%w: %w", ErrPartialWrite, err)
+	}
+	// fsync before the rename: without it the rename can commit a name
+	// pointing at bytes the kernel never flushed, and a crash after Save
+	// leaves a complete-looking file with a truncated tail.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("%w: %w", ErrPartialWrite, err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return fmt.Errorf("%w: %w", ErrPartialWrite, err)
 	}
 	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return fmt.Errorf("%w: %w", ErrPartialWrite, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		return err
+	}
+	// fsync the parent directory so the rename (the commit point) is
+	// durable too; without it a crash can resurrect the old file.
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory, making a just-committed rename durable.
+// Platforms that refuse to fsync directories are tolerated (there is
+// nothing more a portable caller can do).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
 		return err
 	}
 	return nil

@@ -2,10 +2,14 @@ package plancache
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/faultpoint"
 	"github.com/pinumdb/pinum/internal/optimizer"
 	"github.com/pinumdb/pinum/internal/whatif"
 	"github.com/pinumdb/pinum/internal/workload"
@@ -148,6 +152,159 @@ func TestDecodeRejectsPreviousVersion(t *testing.T) {
 	want := "plancache: unsupported snapshot version 1 (want 2)"
 	if err.Error() != want {
 		t.Fatalf("v1 rejection error = %q, want %q", err, want)
+	}
+}
+
+// TestDecodeRejectsEveryTruncation is the exhaustive corruption taxonomy
+// for truncation: a snapshot cut at ANY byte offset — which includes every
+// section boundary (after the magic, the fingerprint, the query count,
+// each query header field, each entry, and inside the trailing checksum)
+// — must be rejected, and the full encoding must still decode.
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	_, snap := starSnapshot(t, 42)
+	// Two queries keep the byte count small enough to try every prefix.
+	small := &Snapshot{Fingerprint: snap.Fingerprint, Queries: snap.Queries[:2]}
+	data := encodeToBytes(t, small)
+
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("Decode accepted a snapshot truncated to %d of %d bytes", n, len(data))
+		}
+	}
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("full snapshot no longer decodes: %v", err)
+	}
+}
+
+// TestDecodeRejectsEveryChecksumFlip flips each bit of the stored checksum
+// (and a byte right before it, which the checksum covers): silent
+// acceptance of either would let a torn tail through.
+func TestDecodeRejectsEveryChecksumFlip(t *testing.T) {
+	_, snap := starSnapshot(t, 42)
+	small := &Snapshot{Fingerprint: snap.Fingerprint, Queries: snap.Queries[:2]}
+	data := encodeToBytes(t, small)
+
+	for off := len(data) - 9; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 1 << bit
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("Decode accepted a snapshot with bit %d of byte %d flipped", bit, off)
+			}
+		}
+	}
+}
+
+// TestSaveCrashSafety proves a torn temp-file write never clobbers the
+// live snapshot: with a fault injected into the temp write path, Save
+// fails with ErrPartialWrite, leaves a truncated temp file behind (a
+// crash cleans nothing up), and the previously saved snapshot still loads
+// byte-intact. After the fault heals, Save succeeds again.
+func TestSaveCrashSafety(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	s, snap := starSnapshot(t, 42)
+	fp := Fingerprint(s.Catalog, s.Stats, optimizer.DefaultCostParams())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "star.pcache")
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faultpoint.Set("plancache.save.write", "error"); err != nil {
+		t.Fatal(err)
+	}
+	err = Save(path, snap)
+	if !errors.Is(err, ErrPartialWrite) {
+		t.Fatalf("faulted Save returned %v, want ErrPartialWrite", err)
+	}
+	if !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("faulted Save did not carry the injected cause: %v", err)
+	}
+
+	// The live snapshot is untouched and still loads.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed Save modified the live snapshot file")
+	}
+	if _, err := Load(path, fp); err != nil {
+		t.Fatalf("live snapshot no longer loads after a torn save: %v", err)
+	}
+
+	// The torn temp file is there (the simulated crash cleans nothing up)
+	// and its truncated content is rejected by the codec.
+	tmps, err := filepath.Glob(filepath.Join(dir, "star.pcache.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 1 {
+		t.Fatalf("expected exactly one torn temp file, found %v", tmps)
+	}
+	torn, err := os.ReadFile(tmps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(torn) >= len(before) {
+		t.Fatalf("torn temp holds %d bytes, want a strict prefix of %d", len(torn), len(before))
+	}
+	if _, err := Decode(torn); err == nil {
+		t.Fatal("Decode accepted the torn temp file")
+	}
+
+	// Healed, the save path works again.
+	faultpoint.Clear("plancache.save.write")
+	if err := Save(path, snap); err != nil {
+		t.Fatalf("Save after healing: %v", err)
+	}
+	if _, err := Load(path, fp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableFingerprints pins the locality contract incremental reload
+// rests on: statistics drift in one table moves that table's fingerprint
+// and no other, while a cost-parameter change moves every fingerprint.
+func TestTableFingerprints(t *testing.T) {
+	s, _ := starSnapshot(t, 42)
+	params := optimizer.DefaultCostParams()
+	base := TableFingerprints(s.Catalog, s.Stats, params)
+	if len(base) != len(s.Catalog.Tables()) {
+		t.Fatalf("fingerprinted %d tables, catalog has %d", len(base), len(s.Catalog.Tables()))
+	}
+
+	again := TableFingerprints(s.Catalog, s.Stats, params)
+	for name, fp := range base {
+		if again[name] != fp {
+			t.Fatalf("table %s fingerprint not deterministic", name)
+		}
+	}
+
+	fact := s.Catalog.Table("fact")
+	fact.RowCount++
+	drifted := TableFingerprints(s.Catalog, s.Stats, params)
+	fact.RowCount--
+	for name, fp := range base {
+		moved := drifted[name] != fp
+		if name == "fact" && !moved {
+			t.Error("fact row-count drift did not move fact's fingerprint")
+		}
+		if name != "fact" && moved {
+			t.Errorf("fact row-count drift moved %s's fingerprint", name)
+		}
+	}
+
+	params.RandomPageCost *= 2
+	repriced := TableFingerprints(s.Catalog, s.Stats, params)
+	for name, fp := range base {
+		if repriced[name] == fp {
+			t.Errorf("cost-parameter change did not move %s's fingerprint", name)
+		}
 	}
 }
 

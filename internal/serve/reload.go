@@ -1,0 +1,556 @@
+package serve
+
+// Hot reload: this file owns the snapshot-set lifecycle — building an
+// immutable set from a (re)loaded environment, deciding how much of the
+// previous set can be reused, publishing the result with one atomic swap,
+// and retrying with capped backoff when a build fails. The request path
+// lives in serve.go and only ever touches a set it loaded once.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/pinumdb/pinum/internal/advisor"
+	"github.com/pinumdb/pinum/internal/catalog"
+	"github.com/pinumdb/pinum/internal/core"
+	"github.com/pinumdb/pinum/internal/faultpoint"
+	"github.com/pinumdb/pinum/internal/inum"
+	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/plancache"
+	"github.com/pinumdb/pinum/internal/query"
+	"github.com/pinumdb/pinum/internal/stats"
+	"github.com/pinumdb/pinum/internal/whatif"
+)
+
+// Environment is one consistent serving world: the catalog, statistics,
+// analysed workload and weights a snapshot set is built from. A Loader
+// re-derives it on every reload so statistics drift is picked up; static
+// servers build one from their Config and keep it for life.
+type Environment struct {
+	Catalog  *catalog.Catalog
+	Stats    *stats.Store
+	Queries  []*query.Query
+	Analyses []*optimizer.Analysis
+	// Weights are the workload frequency weights (nil = all 1).
+	Weights []float64
+}
+
+func (e *Environment) validate() error {
+	if e == nil || e.Catalog == nil || e.Stats == nil {
+		return errors.New("serve: environment needs a catalog and statistics")
+	}
+	if len(e.Queries) == 0 {
+		return errors.New("serve: no queries")
+	}
+	if len(e.Analyses) != len(e.Queries) {
+		return fmt.Errorf("serve: %d queries need matching analyses (%d)", len(e.Queries), len(e.Analyses))
+	}
+	return nil
+}
+
+// Snapshot-set provenance, reported in /healthz and /statz.
+const (
+	sourceStartup     = "startup"
+	sourceDisk        = "disk-snapshot"
+	sourceRebuilt     = "rebuilt"
+	sourceIncremental = "incremental"
+)
+
+// snapshotSet bundles everything a request reads into one immutable
+// world: the environment, the plan caches, the precomputed base costs,
+// the advisor candidate set, and the what-if index interner. Sets are
+// shared through Server.cur and must only be handled by pointer (the
+// embedded mutex makes go vet reject copies); after construction nothing
+// in a set changes except the interner behind its own mutex, so the
+// atomic pointer flip in Server.swap is the entire synchronization story
+// of a reload.
+type snapshotSet struct {
+	env     *Environment
+	caches  []*inum.Cache
+	weights []float64
+	// base holds the per-query costs under the empty configuration
+	// (they are configuration-independent, so one computation serves
+	// every request on this set).
+	base      []float64
+	baseTotal float64
+
+	// candidates is the advisor candidate set, generated once per set so
+	// every /recommend request prices the same stable descriptors.
+	// genErrors records candidates that failed to generate — they are
+	// absent from every /recommend answer, so /healthz counts them and
+	// /statz lists them rather than leaving degraded recommendations
+	// indistinguishable from correct ones.
+	candidates []*catalog.Index
+	genErrors  []string
+
+	// fingerprint identifies the (catalog, statistics, cost-parameter)
+	// environment; tableFPs is its per-table refinement, used by the
+	// next reload to reuse caches of queries whose tables didn't move.
+	fingerprint uint64
+	tableFPs    map[string]uint64
+	queryIdx    map[string]int
+
+	// source/reused/rebuilt record how this set came to be.
+	source  string
+	reused  int
+	rebuilt int
+
+	// ixMu guards the set's what-if index interner. The interner is
+	// per-set so a descriptor resolved on this set stays pointer-stable
+	// against its caches' leaf memos for the set's whole lifetime.
+	ixMu sync.Mutex
+	ws   *whatif.Session
+}
+
+// newSnapshotSet assembles the immutable request-side state over built
+// caches: weights, base costs, the candidate set and a fresh interner.
+func newSnapshotSet(env *Environment, caches []*inum.Cache, source string) (*snapshotSet, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if len(caches) != len(env.Queries) {
+		return nil, fmt.Errorf("serve: %d queries need matching caches (%d)", len(env.Queries), len(caches))
+	}
+	params := optimizer.DefaultCostParams()
+	set := &snapshotSet{
+		env:         env,
+		caches:      caches,
+		weights:     normalizeWeights(env.Weights, len(env.Queries)),
+		base:        make([]float64, len(caches)),
+		fingerprint: plancache.Fingerprint(env.Catalog, env.Stats, params),
+		tableFPs:    plancache.TableFingerprints(env.Catalog, env.Stats, params),
+		queryIdx:    make(map[string]int, len(env.Queries)),
+		source:      source,
+		ws:          whatif.NewSession(env.Catalog),
+	}
+	for i, q := range env.Queries {
+		set.queryIdx[q.Name] = i
+	}
+	for i, c := range caches {
+		cost, _, err := c.Cost(&query.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("serve: base cost for %s: %w", env.Queries[i].Name, err)
+		}
+		set.base[i] = cost
+		//pinum:costarith-ok workload objective Σ wᵢ·cᵢ mirroring advisor.workloadCost; pinned by TestWhatIfMatchesInProcess
+		set.baseTotal += set.weights[i] * cost
+	}
+
+	// Generate the candidate set once through a throwaway advisor so
+	// /recommend requests share descriptors (and the caches' leaf memo
+	// stays bounded by the candidate count, not the request count).
+	gen := advisor.New(env.Catalog, env.Stats, 0)
+	for i, q := range env.Queries {
+		if err := gen.AddPrepared(q, env.Analyses[i], caches[i], set.weights[i]); err != nil {
+			return nil, err
+		}
+	}
+	gen.GenerateCandidates()
+	set.candidates = gen.Candidates()
+	for _, err := range gen.GenerationErrors() {
+		set.genErrors = append(set.genErrors, err.Error())
+	}
+	return set, nil
+}
+
+func normalizeWeights(weights []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		w := 1.0
+		if i < len(weights) && weights[i] > 0 {
+			w = weights[i]
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// maxInternedIndexes caps each set's interner (and therefore the leaf
+// memos keyed by its descriptors): a client enumerating the factorially
+// many valid column permutations must hit a wall, not the OOM killer.
+const maxInternedIndexes = 1 << 17
+
+// resolveConfig interns the requested index specs into a configuration.
+// The set's session deduplicates by (table, columns), so the descriptor a
+// repeated spec resolves to is pointer-stable across requests on this set
+// and the caches' leaf memo serves it without recomputation. At the
+// interner cap, previously-seen specs still resolve; new ones are
+// refused.
+func (set *snapshotSet) resolveConfig(specs []IndexSpec) (*query.Config, error) {
+	cfg := &query.Config{}
+	set.ixMu.Lock()
+	defer set.ixMu.Unlock()
+	for _, spec := range specs {
+		ix := set.ws.Lookup(spec.Table, spec.Columns...)
+		if ix == nil {
+			if set.ws.Count() >= maxInternedIndexes {
+				return nil, &httpError{
+					code: http.StatusServiceUnavailable,
+					err: fmt.Errorf("what-if index interner is full (%d distinct indexes); reload the snapshot to clear it",
+						maxInternedIndexes),
+				}
+			}
+			var err error
+			if ix, err = set.ws.CreateIndex(spec.Table, spec.Columns...); err != nil {
+				return nil, badRequest("%v", err)
+			}
+		}
+		cfg.Indexes = append(cfg.Indexes, ix)
+	}
+	return cfg, nil
+}
+
+func (set *snapshotSet) internedCount() int {
+	set.ixMu.Lock()
+	defer set.ixMu.Unlock()
+	return set.ws.Count()
+}
+
+// --------------------------------------------------------- reloads -----
+
+// ReloadOutcome is one reload's summary, returned by ReloadNow and by
+// POST /reload?wait=1.
+type ReloadOutcome struct {
+	// Result is "swapped", "skipped" (environment fingerprint and
+	// workload unchanged) or "failed".
+	Result         string `json:"result"`
+	Fingerprint    string `json:"fingerprint,omitempty"`
+	SnapshotSource string `json:"snapshot_source,omitempty"`
+	QueriesReused  int    `json:"queries_reused"`
+	QueriesRebuilt int    `json:"queries_rebuilt"`
+}
+
+// ReloadNow synchronously builds a fresh snapshot set and swaps it in.
+// Reloads are serialized; requests are never blocked — they keep serving
+// the current set until the swap. On any failure (loader error, rebuild
+// error, panic) the current set stays published, the server is marked
+// degraded, and a retry is scheduled with exponential backoff capped at
+// RetryMax; the first success clears the degradation. A reload whose
+// environment fingerprint and workload match the live set is skipped
+// (force bypasses the skip, the disk snapshot and per-query reuse,
+// re-optimizing everything).
+func (s *Server) ReloadNow(force bool) (ReloadOutcome, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	set, skipped, err := s.buildSetContained(force)
+	if err != nil {
+		s.reloadsFailed.Add(1)
+		s.degraded.Store(true)
+		s.lastReloadErr.Store(err.Error())
+		s.scheduleRetry()
+		s.logf("reload failed (previous snapshot keeps serving): %v", err)
+		return ReloadOutcome{Result: "failed"}, err
+	}
+	s.degraded.Store(false)
+	s.lastReloadErr.Store("")
+	s.clearRetry()
+	if skipped {
+		s.reloadsSkipped.Add(1)
+		cur := s.current()
+		s.logf("reload skipped: fingerprint %016x unchanged", cur.fingerprint)
+		return ReloadOutcome{
+			Result:         "skipped",
+			Fingerprint:    fmt.Sprintf("%016x", cur.fingerprint),
+			SnapshotSource: cur.source,
+		}, nil
+	}
+	s.swap(set)
+	s.reloadsOK.Add(1)
+	if s.cfg.SnapshotPath != "" && set.source != sourceDisk {
+		// Persisting the rebuilt snapshot is best-effort: a failed save
+		// degrades the next cold start, not this server.
+		if serr := plancache.Save(s.cfg.SnapshotPath, plancache.NewSnapshot(set.fingerprint, set.caches)); serr != nil {
+			s.lastSaveErr.Store(serr.Error())
+			s.logf("snapshot save failed (serving unaffected): %v", serr)
+		} else {
+			s.lastSaveErr.Store("")
+		}
+	}
+	s.logf("reload swapped: fingerprint=%016x source=%s reused=%d rebuilt=%d",
+		set.fingerprint, set.source, set.reused, set.rebuilt)
+	return ReloadOutcome{
+		Result:         "swapped",
+		Fingerprint:    fmt.Sprintf("%016x", set.fingerprint),
+		SnapshotSource: set.source,
+		QueriesReused:  set.reused,
+		QueriesRebuilt: set.rebuilt,
+	}, nil
+}
+
+// TriggerReload requests an asynchronous reload (the SIGHUP and
+// POST /reload paths). Triggers are coalesced: at most one reload runs
+// and one more waits; beyond that the trigger reports false and the
+// pending reload covers it.
+func (s *Server) TriggerReload(force bool) bool {
+	select {
+	case s.reloadQueue <- struct{}{}:
+		go func() {
+			defer func() { <-s.reloadQueue }()
+			s.ReloadNow(force)
+		}()
+		return true
+	default:
+		return false
+	}
+}
+
+// buildSetContained runs buildSet with panic containment: a panicking
+// loader or rebuild becomes a counted, retried reload failure — the
+// serving process and its current snapshot are never at risk.
+func (s *Server) buildSetContained(force bool) (set *snapshotSet, skipped bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			set, skipped, err = nil, false, fmt.Errorf("panic during snapshot rebuild: %v", p)
+		}
+	}()
+	return s.buildSet(force)
+}
+
+// buildSet derives a fresh environment and builds its snapshot set,
+// cheapest viable path first: skip when nothing changed, load the disk
+// snapshot when it matches the new fingerprint, reuse the previous set's
+// caches for queries whose tables' statistics didn't move, and
+// re-optimize only the remainder.
+func (s *Server) buildSet(force bool) (*snapshotSet, bool, error) {
+	if err := faultpoint.Hit("serve.rebuild"); err != nil {
+		return nil, false, fmt.Errorf("rebuild: %w", err)
+	}
+	env := &Environment{
+		Catalog:  s.cfg.Catalog,
+		Stats:    s.cfg.Stats,
+		Queries:  s.cfg.Queries,
+		Analyses: s.cfg.Analyses,
+		Weights:  s.cfg.Weights,
+	}
+	if s.cfg.Loader != nil {
+		var err error
+		if env, err = s.cfg.Loader(); err != nil {
+			return nil, false, fmt.Errorf("loading environment: %w", err)
+		}
+	}
+	if err := env.validate(); err != nil {
+		return nil, false, err
+	}
+	params := optimizer.DefaultCostParams()
+	fp := plancache.Fingerprint(env.Catalog, env.Stats, params)
+	prev := s.current()
+
+	if !force && prev != nil && fp == prev.fingerprint &&
+		sameWorkload(prev.env, env) &&
+		weightsEqual(prev.weights, normalizeWeights(env.Weights, len(env.Queries))) {
+		return nil, true, nil
+	}
+
+	if !force && s.cfg.SnapshotPath != "" {
+		// A matching disk snapshot short-circuits all optimization. A
+		// missing, stale or corrupt one is not a reload failure — the
+		// rebuild below is the fallback, exactly like cold start.
+		if snap, err := plancache.Load(s.cfg.SnapshotPath, fp); err == nil {
+			if caches, err := plancache.BuildCaches(snap, env.Queries, env.Analyses); err == nil {
+				set, err := newSnapshotSet(env, caches, sourceDisk)
+				if err != nil {
+					return nil, false, err
+				}
+				return set, false, nil
+			}
+		}
+	}
+
+	n := len(env.Queries)
+	tfps := plancache.TableFingerprints(env.Catalog, env.Stats, params)
+	caches := make([]*inum.Cache, n)
+	reused := 0
+	var rebuild []int
+	for i, q := range env.Queries {
+		if !force && prev != nil && reusable(prev, q, tfps) {
+			// Reconstructing a slim cache from the previous set's entries
+			// is deterministic bit-for-bit, so a reused query's costs are
+			// byte-identical before and after the swap.
+			j := prev.queryIdx[q.Name]
+			if c, err := plancache.ToCache(env.Analyses[i], plancache.FromCache(prev.caches[j])); err == nil {
+				caches[i] = c
+				reused++
+				continue
+			}
+		}
+		rebuild = append(rebuild, i)
+	}
+	if len(rebuild) > 0 {
+		errs := make([]error, len(rebuild))
+		core.Fan(len(rebuild), s.cfg.Workers, func() func(int) {
+			ws := whatif.NewSession(env.Catalog)
+			return func(k int) {
+				caches[rebuild[k]], errs[k] = core.BuildSlim(env.Analyses[rebuild[k]], ws)
+			}
+		})
+		for k, err := range errs {
+			if err != nil {
+				return nil, false, fmt.Errorf("rebuilding %s: %w", env.Queries[rebuild[k]].Name, err)
+			}
+		}
+	}
+	source := sourceRebuilt
+	if reused > 0 {
+		source = sourceIncremental
+	}
+	set, err := newSnapshotSet(env, caches, source)
+	if err != nil {
+		return nil, false, err
+	}
+	set.reused, set.rebuilt = reused, len(rebuild)
+	return set, false, nil
+}
+
+// reusable reports whether the previous set's cache for q can serve
+// unchanged: same query (name and SQL) and none of its referenced
+// tables' statistics fingerprints moved.
+func reusable(prev *snapshotSet, q *query.Query, tfps map[string]uint64) bool {
+	j, ok := prev.queryIdx[q.Name]
+	if !ok || prev.env.Queries[j].SQL != q.SQL {
+		return false
+	}
+	for _, rel := range q.Rels {
+		newFP, ok := tfps[rel.Table.Name]
+		if !ok {
+			return false
+		}
+		if oldFP, ok := prev.tableFPs[rel.Table.Name]; !ok || oldFP != newFP {
+			return false
+		}
+	}
+	return true
+}
+
+func sameWorkload(a, b *Environment) bool {
+	if len(a.Queries) != len(b.Queries) {
+		return false
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Name != b.Queries[i].Name || a.Queries[i].SQL != b.Queries[i].SQL {
+			return false
+		}
+	}
+	return true
+}
+
+func weightsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ----------------------------------------------------------- retry -----
+
+// scheduleRetry arms the backoff timer after a failed reload: RetryMin
+// doubling per consecutive failure, capped at RetryMax. The previous
+// snapshot keeps serving the whole time.
+func (s *Server) scheduleRetry() {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.retryAttempt++
+	shift := s.retryAttempt - 1
+	if shift > 20 {
+		shift = 20
+	}
+	d := s.cfg.RetryMin << shift
+	if d <= 0 || d > s.cfg.RetryMax {
+		d = s.cfg.RetryMax
+	}
+	s.nextRetryAt = time.Now().Add(d)
+	if s.retryTimer != nil {
+		s.retryTimer.Stop()
+	}
+	s.retryTimer = time.AfterFunc(d, s.retryFire)
+}
+
+func (s *Server) retryFire() {
+	s.retryMu.Lock()
+	s.retryTimer = nil
+	s.nextRetryAt = time.Time{}
+	closed := s.closed
+	s.retryMu.Unlock()
+	if closed {
+		return
+	}
+	s.ReloadNow(false)
+}
+
+func (s *Server) clearRetry() {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	s.retryAttempt = 0
+	s.nextRetryAt = time.Time{}
+	if s.retryTimer != nil {
+		s.retryTimer.Stop()
+		s.retryTimer = nil
+	}
+}
+
+func (s *Server) handleReload(r *http.Request) (any, error) {
+	q := r.URL.Query()
+	force := q.Get("force") == "1" || q.Get("force") == "true"
+	if q.Get("wait") == "1" || q.Get("wait") == "true" {
+		out, err := s.ReloadNow(force)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if s.TriggerReload(force) {
+		return map[string]string{"result": "triggered"}, nil
+	}
+	return map[string]string{"result": "already-pending"}, nil
+}
+
+// ------------------------------------------------------- snapshots -----
+
+// LoadOrBuild returns slim plan caches for the workload. When
+// snapshotPath names a loadable snapshot carrying the environment's
+// fingerprint, the caches are reconstructed from it and buildReason is
+// "". Otherwise — no path configured, file missing, or the snapshot is
+// corrupt, stale, or mismatched against the workload — the caches are
+// built with two optimizer calls per query and, when snapshotPath is
+// non-empty, saved back (atomically overwriting a rejected file), with
+// buildReason saying why the build happened; a rejected snapshot never
+// serves stale costs, and never wedges the daemon either.
+func LoadOrBuild(cat *catalog.Catalog, st *stats.Store, queries []*query.Query,
+	analyses []*optimizer.Analysis, snapshotPath string, workers int) (caches []*inum.Cache, buildReason string, err error) {
+
+	fp := plancache.Fingerprint(cat, st, optimizer.DefaultCostParams())
+	buildReason = "no snapshot configured"
+	if snapshotPath != "" {
+		if _, statErr := os.Stat(snapshotPath); statErr != nil {
+			buildReason = "snapshot not found"
+		} else if snap, loadErr := plancache.Load(snapshotPath, fp); loadErr != nil {
+			buildReason = fmt.Sprintf("snapshot rejected: %v", loadErr)
+		} else if caches, err = plancache.BuildCaches(snap, queries, analyses); err != nil {
+			buildReason = fmt.Sprintf("snapshot rejected: %v", err)
+		} else {
+			return caches, "", nil
+		}
+	}
+	caches, err = core.BuildAllSlim(analyses, cat, workers)
+	if err != nil {
+		return nil, "", err
+	}
+	if snapshotPath != "" {
+		if err := plancache.Save(snapshotPath, plancache.NewSnapshot(fp, caches)); err != nil {
+			return nil, "", err
+		}
+	}
+	return caches, buildReason, nil
+}

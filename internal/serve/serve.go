@@ -1,33 +1,44 @@
 // Package serve implements the concurrent what-if serving layer: an HTTP
-// server that loads (or builds) a slim plan-cache snapshot once and then
-// answers configuration questions with pure cost arithmetic — no
-// optimizer calls on any request path that the caches cover.
+// server that answers configuration questions with pure cost arithmetic —
+// no optimizer calls on any request path that the caches cover — over a
+// hot-swappable plan-cache snapshot.
 //
-// Concurrency model: the plan caches, analyses, queries and catalog are
-// built at startup and never mutated afterwards; they are shared by every
-// request. inum.Cache.Cost and the leaf-cost memo behind it are safe for
-// concurrent use, so /whatif requests evaluate the shared caches directly,
-// fanning per-query evaluations over a core.Fan worker pool. Everything a
-// request does mutate is request-local: /recommend builds a fresh Advisor
-// and incremental cost engine per request (over the shared caches and the
-// startup-generated candidate set), and /explain runs a fresh optimizer
-// call. The one shared mutable structure is the what-if index interner — a
-// mutex-guarded session that resolves each requested (table, columns) spec
-// to a stable descriptor, so repeated questions about the same index hit
-// the caches' leaf memo instead of growing it. The interner (and with it
-// the leaf memo, whose entries are keyed by interned descriptors) is
-// capped: once maxInternedIndexes distinct specs have been seen, requests
-// naming yet another new index are refused with 503 instead of growing
-// server memory without bound.
+// Concurrency model: everything a request reads — plan caches, analyses,
+// queries, catalog, base costs, the advisor candidate set and the what-if
+// index interner — is bundled into one immutable snapshotSet behind an
+// atomic pointer. A request loads the pointer once and works on that set
+// for its whole lifetime; a concurrent reload builds a complete new set in
+// the background and publishes it with a single pointer store, so
+// in-flight requests keep their consistent world and new requests see the
+// new one (never a mix). inum.Cache.Cost and the leaf-cost memo behind it
+// are safe for concurrent use, so /whatif requests evaluate the shared
+// caches directly, fanning per-query evaluations over a core.FanCtx
+// worker pool bounded by the request's deadline. Everything a request
+// does mutate is request-local: /recommend builds a fresh Advisor and
+// incremental cost engine per request, /explain runs a fresh optimizer
+// call. The one mutable structure inside a set is the what-if index
+// interner — a mutex-guarded session that resolves each requested
+// (table, columns) spec to a stable descriptor, capped so a client
+// enumerating index permutations hits a 503 wall instead of the OOM
+// killer.
+//
+// Robustness: handlers run behind panic recovery (a handler panic is a
+// counted 500, not a dead process), admission control (past MaxInFlight
+// concurrent compute requests new ones get 429 instead of queueing
+// unboundedly), and per-request deadlines. Reloads that fail — loader
+// error, rebuild panic, corrupt snapshot — leave the old set serving and
+// retry with capped exponential backoff, surfaced as "degraded" in
+// /healthz, /readyz and /statz.
 package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -38,15 +49,38 @@ import (
 	"github.com/pinumdb/pinum/internal/core"
 	"github.com/pinumdb/pinum/internal/inum"
 	"github.com/pinumdb/pinum/internal/optimizer"
-	"github.com/pinumdb/pinum/internal/plancache"
 	"github.com/pinumdb/pinum/internal/query"
 	"github.com/pinumdb/pinum/internal/sql"
 	"github.com/pinumdb/pinum/internal/stats"
 	"github.com/pinumdb/pinum/internal/storage"
-	"github.com/pinumdb/pinum/internal/whatif"
+)
+
+// Default lifecycle parameters, used when the corresponding Config field
+// is zero.
+const (
+	// DefaultMaxInFlight bounds concurrently evaluating compute requests
+	// (/whatif, /recommend, /explain); excess requests are refused with
+	// 429 instead of queueing unboundedly.
+	DefaultMaxInFlight = 64
+	// DefaultRequestTimeout bounds one compute request's evaluation.
+	DefaultRequestTimeout = 30 * time.Second
+	// DefaultRetryMin/Max bound the reload retry backoff: after a failed
+	// reload the server retries at RetryMin, doubling per attempt up to
+	// RetryMax, while the old snapshot set keeps serving.
+	DefaultRetryMin = time.Second
+	DefaultRetryMax = time.Minute
 )
 
 // Config assembles a server over a prepared workload.
+//
+// Two modes exist. Static: Catalog/Stats/Queries/Analyses/Caches describe
+// one prebuilt workload; New builds the initial snapshot set from them
+// synchronously and Reload can only rebuild that same environment
+// (force-reload still exercises the full optimizer path). Loader: Loader
+// re-derives the environment — catalog, statistics, queries, analyses —
+// on every (re)load, so statistics drift between calls is picked up by
+// /reload or SIGHUP; the server starts unloaded and becomes ready when
+// the first load succeeds.
 type Config struct {
 	Catalog *catalog.Catalog
 	Stats   *stats.Store
@@ -57,33 +91,72 @@ type Config struct {
 	Caches   []*inum.Cache
 	// Weights are the workload frequency weights (nil = all 1).
 	Weights []float64
-	// Workers bounds the per-request evaluation pool and each
-	// /recommend run's greedy parallelism (0 = GOMAXPROCS).
+	// Workers bounds the per-request evaluation pool, each /recommend
+	// run's greedy parallelism, and rebuild parallelism (0 = GOMAXPROCS).
 	Workers int
+
+	// Loader re-derives the serving environment for hot reloads; nil
+	// means static mode over the fields above.
+	Loader func() (*Environment, error)
+	// SnapshotPath, when set, is consulted on every (re)load — a disk
+	// snapshot matching the environment fingerprint is loaded instead of
+	// re-optimizing — and rewritten (crash-safely) after every rebuild.
+	SnapshotPath string
+
+	// MaxInFlight caps concurrently evaluating compute requests
+	// (0 = DefaultMaxInFlight, negative = unlimited).
+	MaxInFlight int
+	// RequestTimeout bounds one compute request's evaluation
+	// (0 = DefaultRequestTimeout, negative = no deadline).
+	RequestTimeout time.Duration
+	// StrictHealth makes /readyz return 503 while the server is degraded
+	// (the last reload failed); by default degraded is a 200 with a
+	// status field, since the old snapshot still answers correctly.
+	StrictHealth bool
+	// RetryMin/RetryMax bound the failed-reload backoff
+	// (0 = DefaultRetryMin/Max).
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// Logf, when set, receives one line per reload outcome.
+	Logf func(format string, args ...any)
 }
 
-// Server answers what-if, recommendation and explain questions over
-// shared immutable plan caches. Create with New; serve with Handler.
+// Server answers what-if, recommendation and explain questions over a
+// hot-swappable immutable snapshot set. Create with New; serve with
+// Handler; swap with Reload/TriggerReload (or POST /reload).
 type Server struct {
-	cfg     Config
-	weights []float64
-	// base holds the per-query costs under the empty configuration,
-	// computed once at startup (they are configuration-independent).
-	base      []float64
-	baseTotal float64
+	cfg Config
 
-	// ixMu guards the shared what-if index interner.
-	ixMu sync.Mutex
-	ws   *whatif.Session
+	// cur is the live snapshot set (nil until the first load succeeds).
+	// The set swap is one atomic pointer flip: handlers load the pointer
+	// exactly once per request and never reach the field directly, so a
+	// request can never observe half of one set and half of another.
+	//pinum:atomic-only current,swap
+	cur atomic.Pointer[snapshotSet]
 
-	// candidates is the advisor candidate set, generated once so every
-	// /recommend request prices the same stable descriptors. genErrors
-	// records candidates that failed to generate at startup — they are
-	// absent from every /recommend answer, so /healthz counts them and
-	// /statz lists them rather than leaving degraded recommendations
-	// indistinguishable from correct ones.
-	candidates []*catalog.Index
-	genErrors  []string
+	// reloadMu serializes reloads; reloadQueue bounds queued triggers.
+	reloadMu    sync.Mutex
+	reloadQueue chan struct{}
+
+	// retryMu guards the backoff timer state.
+	retryMu      sync.Mutex
+	retryTimer   *time.Timer
+	retryAttempt int
+	nextRetryAt  time.Time
+	closed       bool
+
+	// Reload/lifecycle counters, surfaced in /statz.
+	reloadsOK      atomic.Int64
+	reloadsSkipped atomic.Int64
+	reloadsFailed  atomic.Int64
+	degraded       atomic.Bool
+	lastReloadErr  atomic.Value // string
+	lastSaveErr    atomic.Value // string
+	panics         atomic.Int64
+	rejected       atomic.Int64
+
+	// inflight is the admission-control semaphore (nil = unlimited).
+	inflight chan struct{}
 
 	start   time.Time
 	metrics map[string]*endpointMetrics
@@ -98,74 +171,104 @@ type endpointMetrics struct {
 	maxNs    atomic.Int64
 }
 
-// New builds the server: startup is the only place optimizer-derived
-// state is created; every request after it runs on shared immutable data
-// plus request-local scratch.
+// New builds the server. In static mode (no Loader) the initial snapshot
+// set is built synchronously from the provided caches — construction is
+// the only place optimizer-derived state is created, and every request
+// after it runs on shared immutable data plus request-local scratch. In
+// loader mode the server starts unloaded (readiness fails) until the
+// first Reload succeeds.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Queries) == 0 {
-		return nil, fmt.Errorf("serve: no queries")
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
 	}
-	if len(cfg.Caches) != len(cfg.Queries) || len(cfg.Analyses) != len(cfg.Queries) {
-		return nil, fmt.Errorf("serve: %d queries need matching caches (%d) and analyses (%d)",
-			len(cfg.Queries), len(cfg.Caches), len(cfg.Analyses))
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.RetryMin <= 0 {
+		cfg.RetryMin = DefaultRetryMin
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = DefaultRetryMax
 	}
 	s := &Server{
-		cfg:   cfg,
-		ws:    whatif.NewSession(cfg.Catalog),
-		start: time.Now(),
-		mux:   http.NewServeMux(),
+		cfg:         cfg,
+		reloadQueue: make(chan struct{}, 2),
+		start:       time.Now(),
+		mux:         http.NewServeMux(),
 	}
-	s.weights = make([]float64, len(cfg.Queries))
-	for i := range s.weights {
-		w := 1.0
-		if i < len(cfg.Weights) && cfg.Weights[i] > 0 {
-			w = cfg.Weights[i]
-		}
-		s.weights[i] = w
-	}
-	s.base = make([]float64, len(cfg.Caches))
-	for i, c := range cfg.Caches {
-		cost, _, err := c.Cost(&query.Config{})
-		if err != nil {
-			return nil, fmt.Errorf("serve: base cost for %s: %w", cfg.Queries[i].Name, err)
-		}
-		s.base[i] = cost
-		//pinum:costarith-ok workload objective Σ wᵢ·cᵢ mirroring advisor.workloadCost; pinned by TestWhatIfMatchesInProcess
-		s.baseTotal += s.weights[i] * cost
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
 
-	// Generate the candidate set once through a throwaway advisor so
-	// /recommend requests share descriptors (and the caches' leaf memo
-	// stays bounded by the candidate count, not the request count).
-	gen := advisor.New(cfg.Catalog, cfg.Stats, 0)
-	for i, q := range cfg.Queries {
-		if err := gen.AddPrepared(q, cfg.Analyses[i], cfg.Caches[i], s.weights[i]); err != nil {
+	if cfg.Loader == nil {
+		if len(cfg.Queries) == 0 {
+			return nil, fmt.Errorf("serve: no queries")
+		}
+		if len(cfg.Caches) != len(cfg.Queries) || len(cfg.Analyses) != len(cfg.Queries) {
+			return nil, fmt.Errorf("serve: %d queries need matching caches (%d) and analyses (%d)",
+				len(cfg.Queries), len(cfg.Caches), len(cfg.Analyses))
+		}
+		env := &Environment{
+			Catalog:  cfg.Catalog,
+			Stats:    cfg.Stats,
+			Queries:  cfg.Queries,
+			Analyses: cfg.Analyses,
+			Weights:  cfg.Weights,
+		}
+		set, err := newSnapshotSet(env, cfg.Caches, sourceStartup)
+		if err != nil {
 			return nil, err
 		}
-	}
-	gen.GenerateCandidates()
-	s.candidates = gen.Candidates()
-	for _, err := range gen.GenerationErrors() {
-		s.genErrors = append(s.genErrors, err.Error())
+		s.swap(set)
 	}
 
 	s.metrics = map[string]*endpointMetrics{
 		"/whatif":    {},
 		"/recommend": {},
 		"/explain":   {},
+		"/reload":    {},
 		"/healthz":   {},
+		"/readyz":    {},
 		"/statz":     {},
 	}
-	s.mux.HandleFunc("/whatif", s.instrument("/whatif", http.MethodPost, s.handleWhatIf))
-	s.mux.HandleFunc("/recommend", s.instrument("/recommend", http.MethodPost, s.handleRecommend))
-	s.mux.HandleFunc("/explain", s.instrument("/explain", http.MethodPost, s.handleExplain))
-	s.mux.HandleFunc("/healthz", s.instrument("/healthz", http.MethodGet, s.handleHealth))
-	s.mux.HandleFunc("/statz", s.instrument("/statz", http.MethodGet, s.handleStatz))
+	s.mux.HandleFunc("/whatif", s.instrument("/whatif", http.MethodPost, true, s.handleWhatIf))
+	s.mux.HandleFunc("/recommend", s.instrument("/recommend", http.MethodPost, true, s.handleRecommend))
+	s.mux.HandleFunc("/explain", s.instrument("/explain", http.MethodPost, true, s.handleExplain))
+	s.mux.HandleFunc("/reload", s.instrument("/reload", http.MethodPost, false, s.handleReload))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", http.MethodGet, false, s.handleHealth))
+	s.mux.HandleFunc("/readyz", s.instrument("/readyz", http.MethodGet, false, s.handleReady))
+	s.mux.HandleFunc("/statz", s.instrument("/statz", http.MethodGet, false, s.handleStatz))
 	return s, nil
 }
 
 // Handler returns the HTTP handler serving every endpoint.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// current returns the live snapshot set (nil before the first load). It
+// is the one read-side accessor for the swapped state.
+func (s *Server) current() *snapshotSet { return s.cur.Load() }
+
+// swap publishes a freshly built set; the single write-side accessor.
+func (s *Server) swap(set *snapshotSet) { s.cur.Store(set) }
+
+// Close stops the reload retry machinery. In-flight requests finish
+// normally; the caller owns the HTTP listener's own shutdown.
+func (s *Server) Close() {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	s.closed = true
+	if s.retryTimer != nil {
+		s.retryTimer.Stop()
+		s.retryTimer = nil
+	}
+	s.nextRetryAt = time.Time{}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
 
 // httpError carries a status code out of a handler.
 type httpError struct {
@@ -179,9 +282,22 @@ func badRequest(format string, args ...any) error {
 	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
 }
 
-// instrument wraps a handler with method filtering, JSON error rendering
-// and the endpoint's latency/throughput counters.
-func (s *Server) instrument(name, method string, fn func(*http.Request) (any, error)) http.HandlerFunc {
+// errNotReady is every compute endpoint's answer until the first
+// snapshot set has been published.
+func errNotReady() error {
+	return &httpError{
+		code: http.StatusServiceUnavailable,
+		err:  errors.New("not ready: no snapshot loaded yet"),
+	}
+}
+
+// instrument wraps a handler with method filtering, panic containment,
+// admission control, the per-request deadline, JSON error rendering and
+// the endpoint's latency/throughput counters. compute marks the
+// expensive endpoints that sit behind admission control and deadlines;
+// health/metrics endpoints stay exempt so a saturated server can still
+// be observed.
+func (s *Server) instrument(name, method string, compute bool, fn func(*http.Request) (any, error)) http.HandlerFunc {
 	m := s.metrics[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -190,17 +306,34 @@ func (s *Server) instrument(name, method string, fn func(*http.Request) (any, er
 			resp any
 			err  error
 		)
-		if r.Method != method {
+		switch {
+		case r.Method != method:
 			err = &httpError{code: http.StatusMethodNotAllowed, err: fmt.Errorf("%s requires %s", name, method)}
-		} else {
-			resp, err = fn(r)
+		case compute && !s.admit():
+			err = &httpError{
+				code: http.StatusTooManyRequests,
+				err:  fmt.Errorf("server is at its in-flight request limit (%d); retry later", s.cfg.MaxInFlight),
+			}
+		default:
+			if compute {
+				defer s.release()
+				if s.cfg.RequestTimeout > 0 {
+					ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+					defer cancel()
+					r = r.WithContext(ctx)
+				}
+			}
+			resp, err = s.contain(name, fn, r)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err != nil {
 			m.errors.Add(1)
 			code := http.StatusInternalServerError
-			if he, ok := err.(*httpError); ok {
+			var he *httpError
+			if errors.As(err, &he) {
 				code = he.code
+			} else if errors.Is(err, context.DeadlineExceeded) {
+				code = http.StatusGatewayTimeout
 			}
 			w.WriteHeader(code)
 			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
@@ -217,6 +350,38 @@ func (s *Server) instrument(name, method string, fn func(*http.Request) (any, er
 				break
 			}
 		}
+	}
+}
+
+// contain runs one handler with panic recovery: a panicking handler
+// becomes a counted 500 and the next request proceeds normally.
+func (s *Server) contain(name string, fn func(*http.Request) (any, error), r *http.Request) (resp any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			err = fmt.Errorf("internal panic in %s handler: %v", name, p)
+		}
+	}()
+	return fn(r)
+}
+
+// admit takes an admission slot, or reports the server full.
+func (s *Server) admit() bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		s.rejected.Add(1)
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.inflight != nil {
+		<-s.inflight
 	}
 }
 
@@ -248,66 +413,43 @@ type WhatIfResponse struct {
 	Queries   []QueryCost `json:"queries"`
 }
 
-// maxInternedIndexes caps the shared interner (and therefore the leaf
-// memos keyed by its descriptors): a client enumerating the factorially
-// many valid column permutations must hit a wall, not the OOM killer.
-const maxInternedIndexes = 1 << 17
-
-// resolveConfig interns the requested index specs into a configuration.
-// The shared session deduplicates by (table, columns), so the descriptor
-// a repeated spec resolves to is pointer-stable across requests and the
-// caches' leaf memo serves it without recomputation. At the interner cap,
-// previously-seen specs still resolve; new ones are refused.
-func (s *Server) resolveConfig(specs []IndexSpec) (*query.Config, error) {
-	cfg := &query.Config{}
-	s.ixMu.Lock()
-	defer s.ixMu.Unlock()
-	for _, spec := range specs {
-		ix := s.ws.Lookup(spec.Table, spec.Columns...)
-		if ix == nil {
-			if s.ws.Count() >= maxInternedIndexes {
-				return nil, &httpError{
-					code: http.StatusServiceUnavailable,
-					err: fmt.Errorf("what-if index interner is full (%d distinct indexes); restart the server to clear it",
-						maxInternedIndexes),
-				}
-			}
-			var err error
-			if ix, err = s.ws.CreateIndex(spec.Table, spec.Columns...); err != nil {
-				return nil, badRequest("%v", err)
-			}
-		}
-		cfg.Indexes = append(cfg.Indexes, ix)
-	}
-	return cfg, nil
-}
-
 // WhatIf prices the workload under the given configuration: per-query
 // cache lookups fan over the worker pool, and the weighted total is
 // summed in workload order — the same arithmetic, in the same order, as
 // the in-process advisor's workload costing, so results agree bit for
 // bit.
 func (s *Server) WhatIf(req *WhatIfRequest) (*WhatIfResponse, error) {
-	cfg, err := s.resolveConfig(req.Indexes)
+	return s.whatIf(context.Background(), req)
+}
+
+func (s *Server) whatIf(ctx context.Context, req *WhatIfRequest) (*WhatIfResponse, error) {
+	set := s.current()
+	if set == nil {
+		return nil, errNotReady()
+	}
+	cfg, err := set.resolveConfig(req.Indexes)
 	if err != nil {
 		return nil, err
 	}
-	n := len(s.cfg.Caches)
+	n := len(set.caches)
 	costs := make([]float64, n)
 	errs := make([]error, n)
-	core.Fan(n, s.cfg.Workers, func() func(int) {
+	fanErr := core.FanCtx(ctx, n, s.cfg.Workers, func() func(int) {
 		return func(i int) {
-			costs[i], _, errs[i] = s.cfg.Caches[i].Cost(cfg)
+			costs[i], _, errs[i] = set.caches[i].Cost(cfg)
 		}
 	})
-	resp := &WhatIfResponse{BaseTotal: s.baseTotal, Queries: make([]QueryCost, n)}
+	if fanErr != nil {
+		return nil, fmt.Errorf("request abandoned: %w", fanErr)
+	}
+	resp := &WhatIfResponse{BaseTotal: set.baseTotal, Queries: make([]QueryCost, n)}
 	for i := 0; i < n; i++ {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("pricing %s: %w", s.cfg.Queries[i].Name, errs[i])
+			return nil, fmt.Errorf("pricing %s: %w", set.env.Queries[i].Name, errs[i])
 		}
-		resp.Queries[i] = QueryCost{Name: s.cfg.Queries[i].Name, Base: s.base[i], Cost: costs[i]}
+		resp.Queries[i] = QueryCost{Name: set.env.Queries[i].Name, Base: set.base[i], Cost: costs[i]}
 		//pinum:costarith-ok workload objective Σ wᵢ·cᵢ mirroring advisor.workloadCost; pinned by TestWhatIfMatchesInProcess
-		resp.Total += s.weights[i] * costs[i]
+		resp.Total += set.weights[i] * costs[i]
 	}
 	if resp.BaseTotal > 0 {
 		resp.Speedup = math.Max(0, 1-resp.Total/resp.BaseTotal)
@@ -320,7 +462,7 @@ func (s *Server) handleWhatIf(r *http.Request) (any, error) {
 	if err := decodeBody(r, &req); err != nil {
 		return nil, err
 	}
-	return s.WhatIf(&req)
+	return s.whatIf(r.Context(), &req)
 }
 
 // -------------------------------------------------------- recommend ----
@@ -355,25 +497,39 @@ type EngineStats struct {
 // request-local engine state. Results are identical to an in-process
 // advisor.Run over the same workload, weights and budget.
 func (s *Server) Recommend(req *RecommendRequest) (*RecommendResponse, error) {
+	return s.recommend(context.Background(), req)
+}
+
+func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (*RecommendResponse, error) {
+	set := s.current()
+	if set == nil {
+		return nil, errNotReady()
+	}
 	if req.BudgetGB <= 0 {
 		return nil, badRequest("budget_gb must be positive, got %g", req.BudgetGB)
 	}
-	ad := advisor.New(s.cfg.Catalog, s.cfg.Stats, storage.BytesForGB(req.BudgetGB))
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("request abandoned: %w", err)
+	}
+	ad := advisor.New(set.env.Catalog, set.env.Stats, storage.BytesForGB(req.BudgetGB))
 	ad.Parallelism = s.cfg.Workers
 	ad.MaxIndexes = req.MaxIndexes
-	for i, q := range s.cfg.Queries {
-		if err := ad.AddPrepared(q, s.cfg.Analyses[i], s.cfg.Caches[i], s.weights[i]); err != nil {
+	for i, q := range set.env.Queries {
+		if err := ad.AddPrepared(q, set.env.Analyses[i], set.caches[i], set.weights[i]); err != nil {
 			return nil, err
 		}
 	}
-	for _, ix := range s.candidates {
+	for _, ix := range set.candidates {
 		ad.AddCandidate(ix)
 	}
 	res, err := ad.Run()
 	if err != nil {
 		return nil, err
 	}
-	return RecommendResponseFrom(res, s.cfg.Queries), nil
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("request abandoned: %w", err)
+	}
+	return RecommendResponseFrom(res, set.env.Queries), nil
 }
 
 // RecommendResponseFrom shapes an advisor result for the wire. The CLI's
@@ -409,7 +565,7 @@ func (s *Server) handleRecommend(r *http.Request) (any, error) {
 	if err := decodeBody(r, &req); err != nil {
 		return nil, err
 	}
-	return s.Recommend(&req)
+	return s.recommend(r.Context(), &req)
 }
 
 // ---------------------------------------------------------- explain ----
@@ -442,9 +598,13 @@ type ExplainResponse struct {
 // Explain runs one conventional optimizer call for an ad-hoc query — the
 // only endpoint that plans, since arbitrary SQL has no prebuilt cache —
 // and reports the plan tree plus its internal/leaf cost decomposition.
-// All state is request-local except the read-only catalog and the index
-// interner.
+// All state is request-local except the set's read-only catalog and its
+// index interner.
 func (s *Server) Explain(req *ExplainRequest) (*ExplainResponse, error) {
+	set := s.current()
+	if set == nil {
+		return nil, errNotReady()
+	}
 	if req.SQL == "" {
 		return nil, badRequest("sql is required")
 	}
@@ -452,15 +612,15 @@ func (s *Server) Explain(req *ExplainRequest) (*ExplainResponse, error) {
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	q, err := sql.Bind(stmt, s.cfg.Catalog, "adhoc")
+	q, err := sql.Bind(stmt, set.env.Catalog, "adhoc")
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	cfg, err := s.resolveConfig(req.Indexes)
+	cfg, err := set.resolveConfig(req.Indexes)
 	if err != nil {
 		return nil, err
 	}
-	a, err := optimizer.NewAnalysis(q, s.cfg.Stats, optimizer.DefaultCostParams())
+	a, err := optimizer.NewAnalysis(q, set.env.Stats, optimizer.DefaultCostParams())
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
@@ -501,20 +661,64 @@ func (s *Server) handleExplain(r *http.Request) (any, error) {
 
 // ------------------------------------------------- health / metrics ----
 
+// handleHealth is liveness plus a status summary: the process is up, so
+// the answer is always 200 — "status" distinguishes ok, degraded (last
+// reload failed; the previous snapshot keeps serving) and starting (no
+// snapshot yet). Readiness gating belongs to /readyz.
 func (s *Server) handleHealth(*http.Request) (any, error) {
-	entries, slim := 0, true
-	for _, c := range s.cfg.Caches {
-		entries += len(c.Plans)
-		slim = slim && c.Slim()
+	set := s.current()
+	out := map[string]any{"status": s.statusWord(set)}
+	if set != nil {
+		entries, slim := 0, true
+		for _, c := range set.caches {
+			entries += len(c.Plans)
+			slim = slim && c.Slim()
+		}
+		out["queries"] = len(set.env.Queries)
+		out["entries"] = entries
+		out["slim"] = slim
+		out["candidates"] = len(set.candidates)
+		out["candidate_gen_errors"] = len(set.genErrors)
+		out["fingerprint"] = fmt.Sprintf("%016x", set.fingerprint)
+		out["snapshot_source"] = set.source
 	}
-	return map[string]any{
-		"status":               "ok",
-		"queries":              len(s.cfg.Queries),
-		"entries":              entries,
-		"slim":                 slim,
-		"candidates":           len(s.candidates),
-		"candidate_gen_errors": len(s.genErrors),
-	}, nil
+	if msg := loadString(&s.lastReloadErr); msg != "" {
+		out["last_reload_error"] = msg
+	}
+	return out, nil
+}
+
+// handleReady is readiness: 503 until the first snapshot set is
+// published, and — behind StrictHealth — 503 while degraded. A degraded
+// server is serving correct (if stale) answers, so by default it stays
+// ready with the degradation surfaced in the status field.
+func (s *Server) handleReady(*http.Request) (any, error) {
+	set := s.current()
+	status := s.statusWord(set)
+	if set == nil {
+		return nil, &httpError{
+			code: http.StatusServiceUnavailable,
+			err:  errors.New("starting: no snapshot loaded yet"),
+		}
+	}
+	if s.cfg.StrictHealth && s.degraded.Load() {
+		return nil, &httpError{
+			code: http.StatusServiceUnavailable,
+			err:  fmt.Errorf("degraded: %s", loadString(&s.lastReloadErr)),
+		}
+	}
+	return map[string]any{"status": status}, nil
+}
+
+func (s *Server) statusWord(set *snapshotSet) string {
+	switch {
+	case set == nil:
+		return "starting"
+	case s.degraded.Load():
+		return "degraded"
+	default:
+		return "ok"
+	}
 }
 
 // EndpointStats is one endpoint's counters as /statz reports them.
@@ -523,6 +727,18 @@ type EndpointStats struct {
 	Errors   int64   `json:"errors"`
 	AvgMs    float64 `json:"avg_ms"`
 	MaxMs    float64 `json:"max_ms"`
+}
+
+// ReloadStats is the reload state machine as /statz reports it.
+type ReloadStats struct {
+	Completed     int64  `json:"completed"`
+	Skipped       int64  `json:"skipped"`
+	Failed        int64  `json:"failed"`
+	Degraded      bool   `json:"degraded"`
+	LastError     string `json:"last_error,omitempty"`
+	LastSaveError string `json:"last_save_error,omitempty"`
+	RetryAttempt  int    `json:"retry_attempt,omitempty"`
+	NextRetryInMs int64  `json:"next_retry_in_ms,omitempty"`
 }
 
 func (s *Server) handleStatz(*http.Request) (any, error) {
@@ -545,21 +761,61 @@ func (s *Server) handleStatz(*http.Request) (any, error) {
 		}
 		eps[name] = st
 	}
+	rs := ReloadStats{
+		Completed:     s.reloadsOK.Load(),
+		Skipped:       s.reloadsSkipped.Load(),
+		Failed:        s.reloadsFailed.Load(),
+		Degraded:      s.degraded.Load(),
+		LastError:     loadString(&s.lastReloadErr),
+		LastSaveError: loadString(&s.lastSaveErr),
+	}
+	s.retryMu.Lock()
+	rs.RetryAttempt = s.retryAttempt
+	if !s.nextRetryAt.IsZero() {
+		if ms := time.Until(s.nextRetryAt).Milliseconds(); ms > 0 {
+			rs.NextRetryInMs = ms
+		} else {
+			rs.NextRetryInMs = 1 // due; not yet run
+		}
+	}
+	s.retryMu.Unlock()
 	out := map[string]any{
 		"uptime_seconds":   time.Since(s.start).Seconds(),
 		"interned_indexes": s.internedCount(),
 		"endpoints":        eps,
+		"reloads":          rs,
+		"panics":           s.panics.Load(),
+		"rejected":         s.rejected.Load(),
 	}
-	if len(s.genErrors) > 0 {
-		out["candidate_gen_errors"] = s.genErrors
+	if s.inflight != nil {
+		out["in_flight"] = len(s.inflight)
+	}
+	set := s.current()
+	if set != nil {
+		out["fingerprint"] = fmt.Sprintf("%016x", set.fingerprint)
+		out["snapshot_source"] = set.source
+		out["queries_reused"] = set.reused
+		out["queries_rebuilt"] = set.rebuilt
+		if len(set.genErrors) > 0 {
+			out["candidate_gen_errors"] = set.genErrors
+		}
 	}
 	return out, nil
 }
 
 func (s *Server) internedCount() int {
-	s.ixMu.Lock()
-	defer s.ixMu.Unlock()
-	return s.ws.Count()
+	set := s.current()
+	if set == nil {
+		return 0
+	}
+	return set.internedCount()
+}
+
+func loadString(v *atomic.Value) string {
+	if s, ok := v.Load().(string); ok {
+		return s
+	}
+	return ""
 }
 
 // EncodeJSON renders a response value exactly as the HTTP handlers do
@@ -582,43 +838,4 @@ func decodeBody(r *http.Request, v any) error {
 		return badRequest("bad request body: %v", err)
 	}
 	return nil
-}
-
-// ------------------------------------------------------- snapshots -----
-
-// LoadOrBuild returns slim plan caches for the workload. When
-// snapshotPath names a loadable snapshot carrying the environment's
-// fingerprint, the caches are reconstructed from it and buildReason is
-// "". Otherwise — no path configured, file missing, or the snapshot is
-// corrupt, stale, or mismatched against the workload — the caches are
-// built with two optimizer calls per query and, when snapshotPath is
-// non-empty, saved back (atomically overwriting a rejected file), with
-// buildReason saying why the build happened; a rejected snapshot never
-// serves stale costs, and never wedges the daemon either.
-func LoadOrBuild(cat *catalog.Catalog, st *stats.Store, queries []*query.Query,
-	analyses []*optimizer.Analysis, snapshotPath string, workers int) (caches []*inum.Cache, buildReason string, err error) {
-
-	fp := plancache.Fingerprint(cat, st, optimizer.DefaultCostParams())
-	buildReason = "no snapshot configured"
-	if snapshotPath != "" {
-		if _, statErr := os.Stat(snapshotPath); statErr != nil {
-			buildReason = "snapshot not found"
-		} else if snap, loadErr := plancache.Load(snapshotPath, fp); loadErr != nil {
-			buildReason = fmt.Sprintf("snapshot rejected: %v", loadErr)
-		} else if caches, err = plancache.BuildCaches(snap, queries, analyses); err != nil {
-			buildReason = fmt.Sprintf("snapshot rejected: %v", err)
-		} else {
-			return caches, "", nil
-		}
-	}
-	caches, err = core.BuildAllSlim(analyses, cat, workers)
-	if err != nil {
-		return nil, "", err
-	}
-	if snapshotPath != "" {
-		if err := plancache.Save(snapshotPath, plancache.NewSnapshot(fp, caches)); err != nil {
-			return nil, "", err
-		}
-	}
-	return caches, buildReason, nil
 }

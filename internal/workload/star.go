@@ -380,6 +380,25 @@ func attrColumns(t *catalog.Table) []string {
 	return cands
 }
 
+// SetTableRows changes one table's row count and refreshes its uniform
+// column statistics to match — the statistics-drift injection hook used
+// by hot-reload tests and the daemon's -stats-overrides flag. Only the
+// named table's statistics move, so queries that never touch it keep
+// bit-identical costs across a reload.
+func (s *Star) SetTableRows(name string, rows int64) error {
+	if rows <= 0 {
+		return fmt.Errorf("workload: row count for %s must be positive, got %d", name, rows)
+	}
+	t := s.Catalog.Table(name)
+	if t == nil {
+		return fmt.Errorf("workload: no table %s", name)
+	}
+	t.RowCount = rows
+	t.Pages = 0 // re-derive heap size from the new row count
+	s.attachUniformStats(t)
+	return nil
+}
+
 // Q5Analogue builds the 6-table query used for the §IV analysis. Its
 // interesting-order structure yields exactly 648 interesting order
 // combinations, the number the paper reports for TPC-H Q5:
