@@ -11,24 +11,50 @@
 //	pinum-serve -snapshot star.pcache -save-exit      # build the snapshot and exit
 //	pinum-serve -addr 127.0.0.1:8093                  # serve address
 //	pinum-serve -stats-overrides drift.json           # {"table": rows} applied on every (re)load
-//	kill -HUP $(pidof pinum-serve)                    # trigger a hot reload
+//	pinum-serve -tenants roster.json -snapshot-dir d  # multi-tenant: one workload per roster entry
+//	kill -HUP $(pidof pinum-serve)                    # trigger a hot reload (all resident tenants)
+//
+// Multi-tenant mode (-tenants) serves N workloads from one process. The
+// roster is JSON:
+//
+//	{"tenants": [
+//	  {"name": "acme", "seed": 42, "scale": 1.0,
+//	   "stats_overrides": "acme-drift.json", "max_in_flight": 16},
+//	  {"name": "globex", "seed": 43}
+//	]}
+//
+// seed/scale default to the -seed/-scale flags. Requests route by the
+// "tenant" body field or the X-Pinum-Tenant header; unrouted requests
+// hit the first roster entry. -snapshot-dir names a snapshot store (one
+// <tenant>.pcache per tenant, same format as -snapshot) consulted on
+// every load; -tenant-cap bounds how many tenants hold live snapshot
+// sets at once — past it, the least-recently-used tenant is evicted and
+// cold-loads again on its next request. With -save-exit the roster's
+// snapshots are all built/refreshed into the store, then the process
+// exits.
 //
 // Endpoints (JSON in, JSON out):
 //
 //	POST /whatif     {"indexes":[{"table":"fact","columns":["a1"]}]}
 //	POST /recommend  {"budget_gb":5,"max_indexes":0}
 //	POST /explain    {"sql":"SELECT ...","indexes":[...]}
-//	POST /reload     hot reload (?wait=1 synchronous, ?force=1 full rebuild)
-//	GET  /healthz    liveness + snapshot shape (always 200; status ok|degraded|starting)
+//	POST /reload     hot reload (?wait=1 synchronous, ?force=1 full rebuild, ?tenant= one tenant)
+//	GET  /healthz    liveness + snapshot shape (always 200; status ok|degraded|starting; ?tenant= detail)
 //	GET  /readyz     readiness (503 until the first snapshot; -strict-health adds degraded)
-//	GET  /statz      per-endpoint latency/throughput + reload/panic/admission counters
+//	GET  /statz      per-endpoint latency/throughput + per-tenant reload/residency/admission counters
+//
+// /whatif and /recommend additionally accept per-request weight
+// overrides ({"weights":[{"name":"q01","weight":3}]}); duplicate or
+// unknown query names and non-positive weights are rejected with 400.
 //
 // Lifecycle: the HTTP server runs with read/write/idle timeouts, compute
 // requests run behind per-request deadlines (-request-timeout), panic
-// recovery and admission control (-max-in-flight → 429), and SIGTERM or
-// SIGINT drains in-flight requests for up to -drain-timeout before exit.
-// The PINUM_FAULTPOINTS environment variable (name=mode[:count] pairs,
-// comma-separated) arms fault-injection points for robustness drills.
+// recovery, bounded request bodies (-max-body-bytes → 413) and
+// per-tenant admission control (-max-in-flight → 429, one tenant's storm
+// never throttling another), and SIGTERM or SIGINT drains in-flight
+// requests for up to -drain-timeout before exit. The PINUM_FAULTPOINTS
+// environment variable (name=mode[:count] pairs, comma-separated) arms
+// fault-injection points for robustness drills.
 //
 // CI's serve smoke uses the verify modes: after curling a served
 // response to a file, -verify-whatif/-verify-recommend recompute the
@@ -59,6 +85,7 @@ import (
 	"github.com/pinumdb/pinum/internal/core"
 	"github.com/pinumdb/pinum/internal/faultpoint"
 	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/plancache"
 	"github.com/pinumdb/pinum/internal/serve"
 	"github.com/pinumdb/pinum/internal/storage"
 	"github.com/pinumdb/pinum/internal/workload"
@@ -73,10 +100,18 @@ func main() {
 	saveExit := flag.Bool("save-exit", false, "build/refresh the snapshot and exit without serving")
 	statsOverrides := flag.String("stats-overrides", "",
 		`JSON file {"table": rows} re-read and applied on every (re)load — statistics drift injection`)
+	tenantsPath := flag.String("tenants", "",
+		`JSON tenant roster {"tenants":[{"name","seed","scale","stats_overrides","max_in_flight"}]} — multi-tenant mode`)
+	snapshotDir := flag.String("snapshot-dir", "",
+		"snapshot store directory for multi-tenant mode (one <tenant>.pcache per tenant)")
+	tenantCap := flag.Int("tenant-cap", 0,
+		"max tenants holding live snapshot sets at once; LRU eviction past it (0 = all resident)")
 	requestTimeout := flag.Duration("request-timeout", serve.DefaultRequestTimeout,
 		"per-request evaluation deadline for compute endpoints (negative = none)")
 	maxInFlight := flag.Int("max-in-flight", serve.DefaultMaxInFlight,
-		"max concurrently evaluating compute requests before 429 (negative = unlimited)")
+		"max concurrently evaluating compute requests per tenant before 429 (negative = unlimited)")
+	maxBodyBytes := flag.Int64("max-body-bytes", serve.DefaultMaxBodyBytes,
+		"max request body size before 413 (negative = unlimited)")
 	strictHealth := flag.Bool("strict-health", false, "make /readyz return 503 while the server is degraded")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"grace period for in-flight requests on SIGTERM/SIGINT")
@@ -101,6 +136,39 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("verify: served responses match the in-process results")
+		return
+	}
+
+	var tenantCfgs []serve.TenantConfig
+	if *tenantsPath != "" {
+		var err error
+		if tenantCfgs, err = loadTenantConfigs(*tenantsPath, *snapshotDir, *seed, *scale); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *saveExit && *tenantsPath != "" {
+		// Build/refresh every roster tenant's snapshot into the store.
+		for _, tc := range tenantCfgs {
+			env, err := tc.Loader()
+			if err != nil {
+				fatal(fmt.Errorf("tenant %s: %w", tc.Name, err))
+			}
+			buildStart := time.Now()
+			_, buildReason, err := serve.LoadOrBuild(env.Catalog, env.Stats, env.Queries, env.Analyses, tc.SnapshotPath, *workers)
+			if err != nil {
+				fatal(fmt.Errorf("tenant %s: %w", tc.Name, err))
+			}
+			how := "loaded from " + tc.SnapshotPath
+			if buildReason != "" {
+				how = "built: " + buildReason
+				if tc.SnapshotPath != "" {
+					how += ", saved to " + tc.SnapshotPath
+				}
+			}
+			log.Printf("tenant %s: snapshot ready in %v: %d queries (%s)",
+				tc.Name, time.Since(buildStart).Round(time.Millisecond), len(env.Queries), how)
+		}
 		return
 	}
 
@@ -132,27 +200,37 @@ func main() {
 		return
 	}
 
-	srv, err := serve.New(serve.Config{
-		Loader:         loader,
-		SnapshotPath:   *snapshot,
+	cfg := serve.Config{
 		Workers:        *workers,
 		MaxInFlight:    *maxInFlight,
+		MaxBodyBytes:   *maxBodyBytes,
 		RequestTimeout: *requestTimeout,
 		StrictHealth:   *strictHealth,
 		Logf:           log.Printf,
-	})
+	}
+	if *tenantsPath != "" {
+		cfg.Tenants = tenantCfgs
+		cfg.MaxResident = *tenantCap
+	} else {
+		cfg.Loader = loader
+		cfg.SnapshotPath = *snapshot
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
 
+	// Warm the default tenant (the only one in single-tenant mode, the
+	// first roster entry otherwise) so readiness means "can serve now";
+	// other tenants cold-load lazily on their first request.
 	loadStart := time.Now()
 	out, err := srv.ReloadNow(false)
 	if err != nil {
 		fatal(fmt.Errorf("initial snapshot load: %w", err))
 	}
-	log.Printf("snapshot ready in %v: fingerprint=%s source=%s",
-		time.Since(loadStart).Round(time.Millisecond), out.Fingerprint, out.SnapshotSource)
+	log.Printf("snapshot ready in %v: tenant=%s fingerprint=%s source=%s",
+		time.Since(loadStart).Round(time.Millisecond), out.Tenant, out.Fingerprint, out.SnapshotSource)
 
 	// WriteTimeout must outlast the slowest admitted request, or the
 	// connection dies mid-response after a long (but successful) compute.
@@ -198,6 +276,62 @@ func main() {
 	}
 	<-drained
 	log.Printf("drained; exiting")
+}
+
+// tenantSpec is one roster entry in the -tenants file.
+type tenantSpec struct {
+	Name           string  `json:"name"`
+	Seed           int64   `json:"seed"`
+	Scale          float64 `json:"scale"`
+	StatsOverrides string  `json:"stats_overrides"`
+	MaxInFlight    int     `json:"max_in_flight"`
+}
+
+// loadTenantConfigs parses the roster and binds each entry to a loader
+// closure and (when -snapshot-dir is set) its store snapshot path.
+func loadTenantConfigs(path, snapshotDir string, defSeed int64, defScale float64) ([]serve.TenantConfig, error) {
+	var roster struct {
+		Tenants []tenantSpec `json:"tenants"`
+	}
+	if err := readJSON(path, &roster); err != nil {
+		return nil, fmt.Errorf("tenant roster: %w", err)
+	}
+	if len(roster.Tenants) == 0 {
+		return nil, fmt.Errorf("tenant roster %s: no tenants", path)
+	}
+	var store *plancache.Store
+	if snapshotDir != "" {
+		var err error
+		if store, err = plancache.NewStore(snapshotDir); err != nil {
+			return nil, err
+		}
+	}
+	cfgs := make([]serve.TenantConfig, 0, len(roster.Tenants))
+	for _, ts := range roster.Tenants {
+		seed, scale, overrides := ts.Seed, ts.Scale, ts.StatsOverrides
+		if seed == 0 {
+			seed = defSeed
+		}
+		if scale == 0 {
+			scale = defScale
+		}
+		snapPath := ""
+		if store != nil {
+			var err error
+			if snapPath, err = store.Path(ts.Name); err != nil {
+				return nil, fmt.Errorf("tenant roster %s: %w", path, err)
+			}
+		}
+		cfgs = append(cfgs, serve.TenantConfig{
+			Name: ts.Name,
+			Loader: func() (*serve.Environment, error) {
+				return loadEnvironment(scale, seed, overrides)
+			},
+			SnapshotPath: snapPath,
+			MaxInFlight:  ts.MaxInFlight,
+		})
+	}
+	return cfgs, nil
 }
 
 // loadEnvironment derives one consistent serving world from scratch: a

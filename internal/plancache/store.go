@@ -1,0 +1,112 @@
+package plancache
+
+// Store: the on-disk layout for a multi-tenant snapshot collection — one
+// directory, one <tenant>.pcache file per tenant, each written and read
+// with the same crash-safe, fingerprint-validated Save/Load as a
+// standalone snapshot file. The store adds nothing to the format; it
+// only fixes the naming contract, so an operator can point N dedicated
+// single-tenant processes and one multi-tenant process at the same
+// directory and they read each other's snapshots byte for byte.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// storeExt is the snapshot file suffix inside a Store directory.
+const storeExt = ".pcache"
+
+// maxTenantNameLen bounds tenant names; they become file names.
+const maxTenantNameLen = 64
+
+// ValidTenantName reports whether name is usable as a tenant id: 1-64
+// characters from [A-Za-z0-9_-]. The alphabet keeps names safe as file
+// names (no separators, no "..", nothing needing escaping) and safe to
+// embed in URLs, headers and JSON without quoting surprises.
+func ValidTenantName(name string) bool {
+	if len(name) == 0 || len(name) > maxTenantNameLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Store is a directory of per-tenant snapshot files.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a snapshot store directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("plancache: store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("plancache: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Path returns the snapshot file path for a tenant, or an error for an
+// invalid name (never a path outside the store directory).
+func (st *Store) Path(tenant string) (string, error) {
+	if !ValidTenantName(tenant) {
+		return "", fmt.Errorf("plancache: invalid tenant name %q", tenant)
+	}
+	return filepath.Join(st.dir, tenant+storeExt), nil
+}
+
+// Save writes a tenant's snapshot crash-safely (see Save).
+func (st *Store) Save(tenant string, s *Snapshot) error {
+	path, err := st.Path(tenant)
+	if err != nil {
+		return err
+	}
+	return Save(path, s)
+}
+
+// Load reads a tenant's snapshot, rejecting it unless its environment
+// fingerprint matches want (see Load).
+func (st *Store) Load(tenant string, want uint64) (*Snapshot, error) {
+	path, err := st.Path(tenant)
+	if err != nil {
+		return nil, err
+	}
+	return Load(path, want)
+}
+
+// List returns the tenants with a snapshot file in the store, sorted.
+// Files that are not valid tenant snapshots by name are ignored; their
+// content is not inspected (Load validates on read).
+func (st *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("plancache: store: %w", err)
+	}
+	var tenants []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name, ok := strings.CutSuffix(e.Name(), storeExt)
+		if !ok || !ValidTenantName(name) {
+			continue
+		}
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	return tenants, nil
+}

@@ -1,0 +1,119 @@
+package plancache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestValidTenantName pins the tenant-name alphabet: names become file
+// names, headers and JSON values, so anything outside [A-Za-z0-9_-] (or
+// empty, or over-long) is rejected.
+func TestValidTenantName(t *testing.T) {
+	good := []string{"default", "acme", "t1", "A-b_C9", strings.Repeat("x", 64)}
+	for _, name := range good {
+		if !ValidTenantName(name) {
+			t.Errorf("ValidTenantName(%q) = false, want true", name)
+		}
+	}
+	bad := []string{"", ".", "..", "a/b", `a\b`, "a.b", "a b", "a:b", "café",
+		strings.Repeat("x", 65)}
+	for _, name := range bad {
+		if ValidTenantName(name) {
+			t.Errorf("ValidTenantName(%q) = true, want false", name)
+		}
+	}
+}
+
+// TestStoreRoundTrip pins the store layout: Save writes
+// <dir>/<tenant>.pcache, Load validates the fingerprint, and List
+// returns exactly the saved tenants, sorted.
+func TestStoreRoundTrip(t *testing.T) {
+	_, snap := starSnapshot(t, 42)
+	store, err := NewStore(filepath.Join(t.TempDir(), "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tenant := range []string{"globex", "acme"} {
+		if err := store.Save(tenant, snap); err != nil {
+			t.Fatalf("save %s: %v", tenant, err)
+		}
+	}
+	path, err := store.Path("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("expected snapshot file at %s: %v", path, err)
+	}
+
+	got, err := store.Load("acme", snap.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != snap.Fingerprint || len(got.Queries) != len(snap.Queries) {
+		t.Fatalf("loaded snapshot fp=%x queries=%d, want fp=%x queries=%d",
+			got.Fingerprint, len(got.Queries), snap.Fingerprint, len(snap.Queries))
+	}
+
+	// A stale fingerprint must be rejected exactly like a standalone Load.
+	if _, err := store.Load("acme", snap.Fingerprint+1); err == nil {
+		t.Fatal("stale-fingerprint load succeeded, want rejection")
+	}
+
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"acme", "globex"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("List() = %v, want %v", names, want)
+	}
+}
+
+// TestStoreRejectsBadTenantNames pins path safety: no tenant name can
+// escape the store directory or collide with non-snapshot files.
+func TestStoreRejectsBadTenantNames(t *testing.T) {
+	_, snap := starSnapshot(t, 42)
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "../escape", "a/b", "a.pcache"} {
+		if _, err := store.Path(name); err == nil {
+			t.Errorf("Path(%q) succeeded, want error", name)
+		}
+		if err := store.Save(name, snap); err == nil {
+			t.Errorf("Save(%q) succeeded, want error", name)
+		}
+		if _, err := store.Load(name, snap.Fingerprint); err == nil {
+			t.Errorf("Load(%q) succeeded, want error", name)
+		}
+	}
+}
+
+// TestStoreListIgnoresForeignFiles pins List's filter: only
+// valid-tenant-named .pcache files count.
+func TestStoreListIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"notes.txt", "bad name.pcache", ".pcache"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.pcache"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("List() = %v, want empty", names)
+	}
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// rawPost sends exact bytes — no marshalling — so the ingress tests
+// control every byte the decoder sees.
+func rawPost(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestMaxBodyBytes pins the request-size limit: a body over the
+// configured cap is a counted 413 naming the limit, on every decode
+// endpoint, and a body under the cap still works.
+func TestMaxBodyBytes(t *testing.T) {
+	srv, err := New(Config{
+		Loader:       func() (*Environment, error) { return starEnv(42, nil) },
+		Workers:      2,
+		MaxBodyBytes: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	if _, err := srv.ReloadNow(false); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Valid JSON that happens to be huge: the limit must trip on size
+	// alone, not on syntax.
+	big := []byte(`{"indexes":[{"table":"fact","columns":["a1","m1"]}],"pad":"` +
+		strings.Repeat("x", 600) + `"}`)
+	if len(big) <= 512 {
+		t.Fatalf("test body is %d bytes, need > 512", len(big))
+	}
+	for _, path := range []string{"/whatif", "/recommend", "/explain"} {
+		code, body := rawPost(t, ts.URL+path, big)
+		if code != http.StatusRequestEntityTooLarge || !bytes.Contains(body, []byte("512")) {
+			t.Fatalf("%s oversized body: %d %s, want 413 naming the limit", path, code, body)
+		}
+	}
+	if got := srv.oversized.Load(); got != 3 {
+		t.Fatalf("oversized counter = %d, want 3", got)
+	}
+	if code, body := rawPost(t, ts.URL+"/whatif", []byte(`{"indexes":[]}`)); code != http.StatusOK {
+		t.Fatalf("small body after 413s: %d %s", code, body)
+	}
+
+	// The counter is visible in /statz.
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var statz struct {
+		Oversized int64 `json:"oversized"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	if statz.Oversized != 3 {
+		t.Fatalf("/statz oversized = %d, want 3", statz.Oversized)
+	}
+}
+
+// TestRequestBodyTrailingData pins strict body framing: exactly one JSON
+// value per request. Trailing whitespace is fine; anything else — a
+// second value, garbage, half a value — is a 400.
+func TestRequestBodyTrailingData(t *testing.T) {
+	f := newFixture(t)
+	cases := []struct {
+		name string
+		body string
+		code int
+		frag string
+	}{
+		{"clean", `{"indexes":[]}`, http.StatusOK, ""},
+		{"trailing newline", `{"indexes":[]}` + "\n", http.StatusOK, ""},
+		{"trailing spaces", `{"indexes":[]}   ` + "\t\n ", http.StatusOK, ""},
+		{"second object", `{"indexes":[]}{"indexes":[]}`, http.StatusBadRequest, "trailing data"},
+		{"trailing garbage", `{"indexes":[]} garbage`, http.StatusBadRequest, "trailing data"},
+		{"trailing scalar", `{"indexes":[]} 7`, http.StatusBadRequest, "trailing data"},
+		{"trailing bracket", `{"indexes":[]}]`, http.StatusBadRequest, "trailing data"},
+		{"empty body", ``, http.StatusBadRequest, "bad request body"},
+		{"half a value", `{"indexes":`, http.StatusBadRequest, "bad request body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := rawPost(t, f.ts.URL+"/whatif", []byte(tc.body))
+			if code != tc.code {
+				t.Fatalf("got %d %s, want %d", code, body, tc.code)
+			}
+			if tc.frag != "" && !bytes.Contains(body, []byte(tc.frag)) {
+				t.Fatalf("error %s does not name %q", body, tc.frag)
+			}
+		})
+	}
+}
+
+// TestWeightOverrideValidation pins loud rejection of malformed
+// per-request weights: duplicates (which would otherwise silently
+// last-win), unknown names, and non-positive or infinite weights are
+// each a 400 naming the offending query.
+func TestWeightOverrideValidation(t *testing.T) {
+	f := newFixture(t)
+	q0 := f.queries[0].Name
+	cases := []struct {
+		name    string
+		weights string
+		frag    string
+	}{
+		{"duplicate", fmt.Sprintf(`[{"name":%q,"weight":2},{"name":%q,"weight":3}]`, q0, q0), "duplicate query"},
+		{"unknown", `[{"name":"no-such-query","weight":2}]`, "unknown query"},
+		{"zero", fmt.Sprintf(`[{"name":%q,"weight":0}]`, q0), "positive finite weight"},
+		{"negative", fmt.Sprintf(`[{"name":%q,"weight":-1}]`, q0), "positive finite weight"},
+		{"nan", fmt.Sprintf(`[{"name":%q,"weight":"x"}]`, q0), "bad request body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := []byte(fmt.Sprintf(`{"indexes":[],"weights":%s}`, tc.weights))
+			code, resp := rawPost(t, f.ts.URL+"/whatif", body)
+			if code != http.StatusBadRequest || !bytes.Contains(resp, []byte(tc.frag)) {
+				t.Fatalf("got %d %s, want 400 naming %q", code, resp, tc.frag)
+			}
+			if tc.name == "duplicate" && !bytes.Contains(resp, []byte(q0)) {
+				t.Fatalf("duplicate error %s does not name the query %q", resp, q0)
+			}
+		})
+	}
+}
+
+// TestWeightOverrides pins the override arithmetic the costarith
+// directive in whatIfOn cites: an overridden weight reprices exactly
+// that query's contribution in both totals, per-query costs are
+// untouched, and an override-free request remains byte-identical to the
+// pre-override server.
+func TestWeightOverrides(t *testing.T) {
+	f := newFixture(t)
+	probe := []byte(`{"indexes":[{"table":"fact","columns":["a1","m1"]}]}`)
+
+	_, baseRaw := rawPost(t, f.ts.URL+"/whatif", probe)
+	var base WhatIfResponse
+	if err := json.Unmarshal(baseRaw, &base); err != nil {
+		t.Fatal(err)
+	}
+
+	q0 := f.queries[0].Name
+	const w0 = 2.5
+	body := []byte(fmt.Sprintf(`{"indexes":[{"table":"fact","columns":["a1","m1"]}],"weights":[{"name":%q,"weight":%v}]}`, q0, w0))
+	code, raw := rawPost(t, f.ts.URL+"/whatif", body)
+	if code != http.StatusOK {
+		t.Fatalf("override request: %d %s", code, raw)
+	}
+	var got WhatIfResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recompute both totals with the same arithmetic, in the same order,
+	// as the server: default weight 1 everywhere except the override.
+	var wantTotal, wantBase float64
+	for i, q := range base.Queries {
+		w := 1.0
+		if q.Name == q0 {
+			w = w0
+		}
+		wantBase += w * q.Base
+		wantTotal += w * got.Queries[i].Cost
+	}
+	if got.Total != wantTotal || got.BaseTotal != wantBase {
+		t.Fatalf("override totals (total=%v base=%v), want (total=%v base=%v)",
+			got.Total, got.BaseTotal, wantTotal, wantBase)
+	}
+	if got.Total == base.Total {
+		t.Fatal("override changed nothing; query 0's cost contribution must move the total")
+	}
+	// Per-query costs are configuration-determined, not weight-determined.
+	for i := range base.Queries {
+		if base.Queries[i] != got.Queries[i] {
+			t.Fatalf("per-query cost %d changed under a weight override: %+v vs %+v",
+				i, base.Queries[i], got.Queries[i])
+		}
+	}
+
+	// An explicit empty override list stays byte-identical to no list.
+	_, emptyRaw := rawPost(t, f.ts.URL+"/whatif", []byte(`{"indexes":[{"table":"fact","columns":["a1","m1"]}],"weights":[]}`))
+	if !bytes.Equal(emptyRaw, baseRaw) {
+		t.Fatalf("empty weights list diverged from omitted list:\n%s\nvs\n%s", emptyRaw, baseRaw)
+	}
+
+	// /recommend accepts the same overrides and validates them the same
+	// way.
+	code, raw = rawPost(t, f.ts.URL+"/recommend",
+		[]byte(fmt.Sprintf(`{"budget_gb":5,"weights":[{"name":%q,"weight":2},{"name":%q,"weight":2}]}`, q0, q0)))
+	if code != http.StatusBadRequest || !bytes.Contains(raw, []byte("duplicate query")) {
+		t.Fatalf("/recommend duplicate weights: %d %s, want 400", code, raw)
+	}
+}

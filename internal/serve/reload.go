@@ -3,12 +3,15 @@ package serve
 // Hot reload: this file owns the snapshot-set lifecycle — building an
 // immutable set from a (re)loaded environment, deciding how much of the
 // previous set can be reused, publishing the result with one atomic swap,
-// and retrying with capped backoff when a build fails. The request path
-// lives in serve.go and only ever touches a set it loaded once.
+// and retrying with capped backoff when a build fails. Every piece of it
+// is a tenant method: each tenant reloads, fails and heals on its own
+// state machine. The request path lives in serve.go and only ever
+// touches a set it loaded once.
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sync"
@@ -63,11 +66,12 @@ const (
 // snapshotSet bundles everything a request reads into one immutable
 // world: the environment, the plan caches, the precomputed base costs,
 // the advisor candidate set, and the what-if index interner. Sets are
-// shared through Server.cur and must only be handled by pointer (the
-// embedded mutex makes go vet reject copies); after construction nothing
-// in a set changes except the interner behind its own mutex, so the
-// atomic pointer flip in Server.swap is the entire synchronization story
-// of a reload.
+// shared through each tenant's cur pointer and must only be handled by
+// pointer (the embedded mutex makes go vet reject copies); after
+// construction nothing in a set changes except the interner behind its
+// own mutex, so the atomic pointer flip in tenant.swap is the entire
+// synchronization story of a reload — and of an eviction, which stores
+// nil and lets in-flight requests finish on the set they hold.
 type snapshotSet struct {
 	env     *Environment
 	caches  []*inum.Cache
@@ -204,6 +208,37 @@ func (set *snapshotSet) resolveConfig(specs []IndexSpec) (*query.Config, error) 
 	return cfg, nil
 }
 
+// resolveWeights applies a request's per-query weight overrides on top of
+// the set's workload weights. Overrides are validated loudly: a name not
+// in the workload, a non-positive or non-finite weight, and — because
+// last-wins would silently misprice the workload — a duplicated query
+// name are each a 400 naming the offender. Without overrides the set's
+// shared slice is returned untouched, keeping the default-weight path
+// byte-identical to the pre-override server.
+func (set *snapshotSet) resolveWeights(overrides []WeightOverride) ([]float64, bool, error) {
+	if len(overrides) == 0 {
+		return set.weights, false, nil
+	}
+	out := make([]float64, len(set.weights))
+	copy(out, set.weights)
+	seen := make(map[string]bool, len(overrides))
+	for _, o := range overrides {
+		if seen[o.Name] {
+			return nil, false, badRequest("weights: duplicate query %q (each query may be reweighted at most once)", o.Name)
+		}
+		seen[o.Name] = true
+		i, ok := set.queryIdx[o.Name]
+		if !ok {
+			return nil, false, badRequest("weights: unknown query %q", o.Name)
+		}
+		if !(o.Weight > 0) || math.IsInf(o.Weight, 1) {
+			return nil, false, badRequest("weights: query %q needs a positive finite weight, got %v", o.Name, o.Weight)
+		}
+		out[i] = o.Weight
+	}
+	return out, true, nil
+}
+
 func (set *snapshotSet) internedCount() int {
 	set.ixMu.Lock()
 	defer set.ixMu.Unlock()
@@ -215,6 +250,8 @@ func (set *snapshotSet) internedCount() int {
 // ReloadOutcome is one reload's summary, returned by ReloadNow and by
 // POST /reload?wait=1.
 type ReloadOutcome struct {
+	// Tenant is the tenant the reload targeted.
+	Tenant string `json:"tenant"`
 	// Result is "swapped", "skipped" (environment fingerprint and
 	// workload unchanged) or "failed".
 	Result         string `json:"result"`
@@ -224,55 +261,66 @@ type ReloadOutcome struct {
 	QueriesRebuilt int    `json:"queries_rebuilt"`
 }
 
-// ReloadNow synchronously builds a fresh snapshot set and swaps it in.
-// Reloads are serialized; requests are never blocked — they keep serving
-// the current set until the swap. On any failure (loader error, rebuild
-// error, panic) the current set stays published, the server is marked
-// degraded, and a retry is scheduled with exponential backoff capped at
-// RetryMax; the first success clears the degradation. A reload whose
-// environment fingerprint and workload match the live set is skipped
-// (force bypasses the skip, the disk snapshot and per-query reuse,
-// re-optimizing everything).
+// ReloadNow synchronously reloads the default tenant — the whole server
+// in single-tenant mode. See ReloadTenant for the per-tenant form.
 func (s *Server) ReloadNow(force bool) (ReloadOutcome, error) {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-	set, skipped, err := s.buildSetContained(force)
+	return s.defaultTenant().reloadNow(force)
+}
+
+// ReloadTenant synchronously reloads one tenant by name. Reloading a
+// cold tenant loads it (and counts against the residency cap like any
+// other load).
+func (s *Server) ReloadTenant(name string, force bool) (ReloadOutcome, error) {
+	t, err := s.tenantByName(name)
 	if err != nil {
-		s.reloadsFailed.Add(1)
-		s.degraded.Store(true)
-		s.lastReloadErr.Store(err.Error())
-		s.scheduleRetry()
-		s.logf("reload failed (previous snapshot keeps serving): %v", err)
-		return ReloadOutcome{Result: "failed"}, err
+		return ReloadOutcome{Tenant: name, Result: "failed"}, err
 	}
-	s.degraded.Store(false)
-	s.lastReloadErr.Store("")
-	s.clearRetry()
+	return t.reloadNow(force)
+}
+
+// reloadNow synchronously builds a fresh snapshot set for this tenant
+// and swaps it in. Reloads are serialized per tenant; requests are never
+// blocked — they keep serving the current set until the swap. On any
+// failure (loader error, rebuild error, panic) the current set stays
+// published, the tenant is marked degraded, and a retry is scheduled
+// with exponential backoff capped at RetryMax; the first success clears
+// the degradation. A reload whose environment fingerprint and workload
+// match the live set is skipped (force bypasses the skip, the disk
+// snapshot and per-query reuse, re-optimizing everything).
+func (t *tenant) reloadNow(force bool) (ReloadOutcome, error) {
+	s := t.srv
+	t.reloadMu.Lock()
+	defer t.reloadMu.Unlock()
+	set, skipped, err := t.buildSetContained(force)
+	if err != nil {
+		t.reloadsFailed.Add(1)
+		t.degraded.Store(true)
+		t.lastReloadErr.Store(err.Error())
+		t.scheduleRetry()
+		s.logf("tenant %s: reload failed (previous snapshot keeps serving): %v", t.name, err)
+		return ReloadOutcome{Tenant: t.name, Result: "failed"}, err
+	}
+	t.degraded.Store(false)
+	t.lastReloadErr.Store("")
+	t.clearRetry()
 	if skipped {
-		s.reloadsSkipped.Add(1)
-		cur := s.current()
-		s.logf("reload skipped: fingerprint %016x unchanged", cur.fingerprint)
+		t.reloadsSkipped.Add(1)
+		cur := t.current()
+		s.logf("tenant %s: reload skipped: fingerprint %016x unchanged", t.name, cur.fingerprint)
 		return ReloadOutcome{
+			Tenant:         t.name,
 			Result:         "skipped",
 			Fingerprint:    fmt.Sprintf("%016x", cur.fingerprint),
 			SnapshotSource: cur.source,
 		}, nil
 	}
-	s.swap(set)
-	s.reloadsOK.Add(1)
-	if s.cfg.SnapshotPath != "" && set.source != sourceDisk {
-		// Persisting the rebuilt snapshot is best-effort: a failed save
-		// degrades the next cold start, not this server.
-		if serr := plancache.Save(s.cfg.SnapshotPath, plancache.NewSnapshot(set.fingerprint, set.caches)); serr != nil {
-			s.lastSaveErr.Store(serr.Error())
-			s.logf("snapshot save failed (serving unaffected): %v", serr)
-		} else {
-			s.lastSaveErr.Store("")
-		}
-	}
-	s.logf("reload swapped: fingerprint=%016x source=%s reused=%d rebuilt=%d",
-		set.fingerprint, set.source, set.reused, set.rebuilt)
+	t.publish(set)
+	t.reloadsOK.Add(1)
+	t.saveSnapshot(set)
+	s.logf("tenant %s: reload swapped: fingerprint=%016x source=%s reused=%d rebuilt=%d",
+		t.name, set.fingerprint, set.source, set.reused, set.rebuilt)
 	return ReloadOutcome{
+		Tenant:         t.name,
 		Result:         "swapped",
 		Fingerprint:    fmt.Sprintf("%016x", set.fingerprint),
 		SnapshotSource: set.source,
@@ -281,16 +329,49 @@ func (s *Server) ReloadNow(force bool) (ReloadOutcome, error) {
 	}, nil
 }
 
-// TriggerReload requests an asynchronous reload (the SIGHUP and
-// POST /reload paths). Triggers are coalesced: at most one reload runs
-// and one more waits; beyond that the trigger reports false and the
-// pending reload covers it.
+// saveSnapshot persists a freshly rebuilt set's caches to the tenant's
+// snapshot file so the next cold start (or post-eviction load) skips the
+// optimizer. Best-effort: a failed save degrades the next load, not this
+// server.
+func (t *tenant) saveSnapshot(set *snapshotSet) {
+	if t.snapshotPath == "" || set.source == sourceDisk {
+		return
+	}
+	if serr := plancache.Save(t.snapshotPath, plancache.NewSnapshot(set.fingerprint, set.caches)); serr != nil {
+		t.lastSaveErr.Store(serr.Error())
+		t.srv.logf("tenant %s: snapshot save failed (serving unaffected): %v", t.name, serr)
+	} else {
+		t.lastSaveErr.Store("")
+	}
+}
+
+// TriggerReload requests an asynchronous reload of every resident tenant
+// (the SIGHUP path; single-tenant servers behave exactly as before).
+// Triggers are coalesced per tenant: at most one reload runs and one
+// more waits; beyond that the trigger reports false for that tenant and
+// the pending reload covers it. Cold tenants are skipped — they rebuild
+// from fresh statistics on their next request anyway.
 func (s *Server) TriggerReload(force bool) bool {
+	any := false
+	for _, name := range s.tenantNames {
+		t := s.tenants[name]
+		if t.current() == nil {
+			continue
+		}
+		if t.triggerReload(force) {
+			any = true
+		}
+	}
+	return any
+}
+
+// triggerReload requests an asynchronous reload of this tenant.
+func (t *tenant) triggerReload(force bool) bool {
 	select {
-	case s.reloadQueue <- struct{}{}:
+	case t.reloadQueue <- struct{}{}:
 		go func() {
-			defer func() { <-s.reloadQueue }()
-			s.ReloadNow(force)
+			defer func() { <-t.reloadQueue }()
+			t.reloadNow(force)
 		}()
 		return true
 	default:
@@ -300,23 +381,24 @@ func (s *Server) TriggerReload(force bool) bool {
 
 // buildSetContained runs buildSet with panic containment: a panicking
 // loader or rebuild becomes a counted, retried reload failure — the
-// serving process and its current snapshot are never at risk.
-func (s *Server) buildSetContained(force bool) (set *snapshotSet, skipped bool, err error) {
+// serving process and its current snapshots are never at risk.
+func (t *tenant) buildSetContained(force bool) (set *snapshotSet, skipped bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			s.panics.Add(1)
+			t.srv.panics.Add(1)
 			set, skipped, err = nil, false, fmt.Errorf("panic during snapshot rebuild: %v", p)
 		}
 	}()
-	return s.buildSet(force)
+	return t.buildSet(force)
 }
 
 // buildSet derives a fresh environment and builds its snapshot set,
-// cheapest viable path first: skip when nothing changed, load the disk
-// snapshot when it matches the new fingerprint, reuse the previous set's
-// caches for queries whose tables' statistics didn't move, and
-// re-optimize only the remainder.
-func (s *Server) buildSet(force bool) (*snapshotSet, bool, error) {
+// cheapest viable path first: skip when nothing changed, load the
+// tenant's disk snapshot when it matches the new fingerprint, reuse the
+// previous set's caches for queries whose tables' statistics didn't
+// move, and re-optimize only the remainder.
+func (t *tenant) buildSet(force bool) (*snapshotSet, bool, error) {
+	s := t.srv
 	if err := faultpoint.Hit("serve.rebuild"); err != nil {
 		return nil, false, fmt.Errorf("rebuild: %w", err)
 	}
@@ -327,9 +409,9 @@ func (s *Server) buildSet(force bool) (*snapshotSet, bool, error) {
 		Analyses: s.cfg.Analyses,
 		Weights:  s.cfg.Weights,
 	}
-	if s.cfg.Loader != nil {
+	if t.loader != nil {
 		var err error
-		if env, err = s.cfg.Loader(); err != nil {
+		if env, err = t.loader(); err != nil {
 			return nil, false, fmt.Errorf("loading environment: %w", err)
 		}
 	}
@@ -338,7 +420,7 @@ func (s *Server) buildSet(force bool) (*snapshotSet, bool, error) {
 	}
 	params := optimizer.DefaultCostParams()
 	fp := plancache.Fingerprint(env.Catalog, env.Stats, params)
-	prev := s.current()
+	prev := t.current()
 
 	if !force && prev != nil && fp == prev.fingerprint &&
 		sameWorkload(prev.env, env) &&
@@ -346,11 +428,11 @@ func (s *Server) buildSet(force bool) (*snapshotSet, bool, error) {
 		return nil, true, nil
 	}
 
-	if !force && s.cfg.SnapshotPath != "" {
+	if !force && t.snapshotPath != "" {
 		// A matching disk snapshot short-circuits all optimization. A
 		// missing, stale or corrupt one is not a reload failure — the
 		// rebuild below is the fallback, exactly like cold start.
-		if snap, err := plancache.Load(s.cfg.SnapshotPath, fp); err == nil {
+		if snap, err := plancache.Load(t.snapshotPath, fp); err == nil {
 			if caches, err := plancache.BuildCaches(snap, env.Queries, env.Analyses); err == nil {
 				set, err := newSnapshotSet(env, caches, sourceDisk)
 				if err != nil {
@@ -452,68 +534,87 @@ func weightsEqual(a, b []float64) bool {
 
 // ----------------------------------------------------------- retry -----
 
-// scheduleRetry arms the backoff timer after a failed reload: RetryMin
-// doubling per consecutive failure, capped at RetryMax. The previous
-// snapshot keeps serving the whole time.
-func (s *Server) scheduleRetry() {
-	s.retryMu.Lock()
-	defer s.retryMu.Unlock()
-	if s.closed {
+// scheduleRetry arms the tenant's backoff timer after a failed reload:
+// RetryMin doubling per consecutive failure, capped at RetryMax. The
+// previous snapshot keeps serving the whole time.
+func (t *tenant) scheduleRetry() {
+	t.retryMu.Lock()
+	defer t.retryMu.Unlock()
+	if t.closed {
 		return
 	}
-	s.retryAttempt++
-	shift := s.retryAttempt - 1
+	t.retryAttempt++
+	shift := t.retryAttempt - 1
 	if shift > 20 {
 		shift = 20
 	}
-	d := s.cfg.RetryMin << shift
-	if d <= 0 || d > s.cfg.RetryMax {
-		d = s.cfg.RetryMax
+	d := t.srv.cfg.RetryMin << shift
+	if d <= 0 || d > t.srv.cfg.RetryMax {
+		d = t.srv.cfg.RetryMax
 	}
-	s.nextRetryAt = time.Now().Add(d)
-	if s.retryTimer != nil {
-		s.retryTimer.Stop()
+	t.nextRetryAt = time.Now().Add(d)
+	if t.retryTimer != nil {
+		t.retryTimer.Stop()
 	}
-	s.retryTimer = time.AfterFunc(d, s.retryFire)
+	t.retryTimer = time.AfterFunc(d, t.retryFire)
 }
 
-func (s *Server) retryFire() {
-	s.retryMu.Lock()
-	s.retryTimer = nil
-	s.nextRetryAt = time.Time{}
-	closed := s.closed
-	s.retryMu.Unlock()
+func (t *tenant) retryFire() {
+	t.retryMu.Lock()
+	t.retryTimer = nil
+	t.nextRetryAt = time.Time{}
+	closed := t.closed
+	t.retryMu.Unlock()
 	if closed {
 		return
 	}
-	s.ReloadNow(false)
+	t.reloadNow(false)
 }
 
-func (s *Server) clearRetry() {
-	s.retryMu.Lock()
-	defer s.retryMu.Unlock()
-	s.retryAttempt = 0
-	s.nextRetryAt = time.Time{}
-	if s.retryTimer != nil {
-		s.retryTimer.Stop()
-		s.retryTimer = nil
+func (t *tenant) clearRetry() {
+	t.retryMu.Lock()
+	defer t.retryMu.Unlock()
+	t.retryAttempt = 0
+	t.nextRetryAt = time.Time{}
+	if t.retryTimer != nil {
+		t.retryTimer.Stop()
+		t.retryTimer = nil
 	}
 }
 
+// stopRetry permanently disarms the tenant's retry machinery (Close).
+func (t *tenant) stopRetry() {
+	t.retryMu.Lock()
+	defer t.retryMu.Unlock()
+	t.closed = true
+	if t.retryTimer != nil {
+		t.retryTimer.Stop()
+		t.retryTimer = nil
+	}
+	t.nextRetryAt = time.Time{}
+}
+
+// handleReload serves POST /reload: ?tenant= (or the X-Pinum-Tenant
+// header) picks the tenant, defaulting to the default tenant; ?wait=1
+// runs synchronously; ?force=1 bypasses the skip and every reuse path.
 func (s *Server) handleReload(r *http.Request) (any, error) {
 	q := r.URL.Query()
 	force := q.Get("force") == "1" || q.Get("force") == "true"
+	t, err := s.resolveTenant(r, q.Get("tenant"))
+	if err != nil {
+		return nil, err
+	}
 	if q.Get("wait") == "1" || q.Get("wait") == "true" {
-		out, err := s.ReloadNow(force)
+		out, err := t.reloadNow(force)
 		if err != nil {
 			return nil, err
 		}
 		return out, nil
 	}
-	if s.TriggerReload(force) {
-		return map[string]string{"result": "triggered"}, nil
+	if t.triggerReload(force) {
+		return map[string]string{"tenant": t.name, "result": "triggered"}, nil
 	}
-	return map[string]string{"result": "already-pending"}, nil
+	return map[string]string{"tenant": t.name, "result": "already-pending"}, nil
 }
 
 // ------------------------------------------------------- snapshots -----

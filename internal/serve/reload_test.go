@@ -239,7 +239,7 @@ func TestReloadUnderTraffic(t *testing.T) {
 		t.Fatalf("served response diverged from baseline during reloads:\n%s", body)
 	default:
 	}
-	if got := rf.srv.reloadsOK.Load(); got != reloads+1 {
+	if got := rf.srv.defaultTenant().reloadsOK.Load(); got != reloads+1 {
 		t.Fatalf("completed reloads = %d, want %d", got, reloads+1)
 	}
 }
@@ -260,7 +260,7 @@ func TestReloadSkipsWhenUnchanged(t *testing.T) {
 	if out.Fingerprint != first.Fingerprint {
 		t.Fatalf("skip changed fingerprint: %s -> %s", first.Fingerprint, out.Fingerprint)
 	}
-	if got := rf.srv.reloadsSkipped.Load(); got != 1 {
+	if got := rf.srv.defaultTenant().reloadsSkipped.Load(); got != 1 {
 		t.Fatalf("skipped counter = %d, want 1", got)
 	}
 }
@@ -399,7 +399,7 @@ func TestFailedReloadRetriesAutomatically(t *testing.T) {
 		t.Fatal("first reload should fail")
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for rf.srv.degraded.Load() {
+	for rf.srv.defaultTenant().degraded.Load() {
 		if time.Now().After(deadline) {
 			t.Fatal("server never recovered via retry")
 		}
@@ -552,7 +552,8 @@ func TestAdmissionControl(t *testing.T) {
 	rf := newReloadFixture(t, func(cfg *Config) { cfg.MaxInFlight = 1 })
 	rf.load(t)
 
-	rf.srv.inflight <- struct{}{} // occupy the only slot
+	def := rf.srv.defaultTenant()
+	def.inflight <- struct{}{} // occupy the only slot
 	code, body := rf.do(t, http.MethodPost, "/whatif", whatIfProbe)
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("saturated /whatif: %d %s, want 429", code, body)
@@ -560,11 +561,11 @@ func TestAdmissionControl(t *testing.T) {
 	if code, _ = rf.do(t, http.MethodGet, "/healthz", nil); code != http.StatusOK {
 		t.Fatalf("saturated /healthz: %d, want 200 (health is exempt)", code)
 	}
-	<-rf.srv.inflight
+	<-def.inflight
 	if code, _ = rf.do(t, http.MethodPost, "/whatif", whatIfProbe); code != http.StatusOK {
 		t.Fatalf("/whatif after release: %d, want 200", code)
 	}
-	if got := rf.srv.rejected.Load(); got != 1 {
+	if got := def.rejected.Load(); got != 1 {
 		t.Fatalf("rejected counter = %d, want 1", got)
 	}
 }

@@ -1,7 +1,7 @@
 // Package serve implements the concurrent what-if serving layer: an HTTP
 // server that answers configuration questions with pure cost arithmetic —
-// no optimizer calls on any request path that the caches cover — over a
-// hot-swappable plan-cache snapshot.
+// no optimizer calls on any request path that the caches cover — over
+// hot-swappable plan-cache snapshots, one per tenant.
 //
 // Concurrency model: everything a request reads — plan caches, analyses,
 // queries, catalog, base costs, the advisor candidate set and the what-if
@@ -22,13 +22,22 @@
 // enumerating index permutations hits a 503 wall instead of the OOM
 // killer.
 //
+// Multi-tenancy: one process fronts N workloads (Config.Tenants), each an
+// independent tenant — its own snapshot set, reload/retry state machine
+// and admission semaphore — routed by the request's `tenant` field or the
+// X-Pinum-Tenant header (see tenant.go). A residency cap bounds how many
+// tenants hold live sets at once; evicted tenants cold-load from their
+// snapshot file on next request. A Config without Tenants serves one
+// default tenant with the pre-tenant behavior, byte for byte.
+//
 // Robustness: handlers run behind panic recovery (a handler panic is a
-// counted 500, not a dead process), admission control (past MaxInFlight
-// concurrent compute requests new ones get 429 instead of queueing
-// unboundedly), and per-request deadlines. Reloads that fail — loader
-// error, rebuild panic, corrupt snapshot — leave the old set serving and
-// retry with capped exponential backoff, surfaced as "degraded" in
-// /healthz, /readyz and /statz.
+// counted 500, not a dead process), per-tenant admission control (past a
+// tenant's MaxInFlight concurrent compute requests new ones get 429
+// instead of queueing unboundedly — and without touching other tenants),
+// bounded request bodies (413 past -max-body-bytes), and per-request
+// deadlines. Reloads that fail — loader error, rebuild panic, corrupt
+// snapshot — leave the old set serving and retry with capped exponential
+// backoff, surfaced as "degraded" in /healthz, /readyz and /statz.
 package serve
 
 import (
@@ -37,6 +46,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sort"
@@ -49,6 +59,7 @@ import (
 	"github.com/pinumdb/pinum/internal/core"
 	"github.com/pinumdb/pinum/internal/inum"
 	"github.com/pinumdb/pinum/internal/optimizer"
+	"github.com/pinumdb/pinum/internal/plancache"
 	"github.com/pinumdb/pinum/internal/query"
 	"github.com/pinumdb/pinum/internal/sql"
 	"github.com/pinumdb/pinum/internal/stats"
@@ -58,29 +69,34 @@ import (
 // Default lifecycle parameters, used when the corresponding Config field
 // is zero.
 const (
-	// DefaultMaxInFlight bounds concurrently evaluating compute requests
-	// (/whatif, /recommend, /explain); excess requests are refused with
-	// 429 instead of queueing unboundedly.
+	// DefaultMaxInFlight bounds one tenant's concurrently evaluating
+	// compute requests (/whatif, /recommend, /explain); excess requests
+	// are refused with 429 instead of queueing unboundedly.
 	DefaultMaxInFlight = 64
 	// DefaultRequestTimeout bounds one compute request's evaluation.
 	DefaultRequestTimeout = 30 * time.Second
 	// DefaultRetryMin/Max bound the reload retry backoff: after a failed
-	// reload the server retries at RetryMin, doubling per attempt up to
-	// RetryMax, while the old snapshot set keeps serving.
+	// reload a tenant retries at RetryMin, doubling per attempt up to
+	// RetryMax, while its old snapshot set keeps serving.
 	DefaultRetryMin = time.Second
 	DefaultRetryMax = time.Minute
+	// DefaultMaxBodyBytes bounds one request body; oversized bodies are
+	// a counted 413, never an unbounded allocation.
+	DefaultMaxBodyBytes = 8 << 20
 )
 
-// Config assembles a server over a prepared workload.
+// Config assembles a server over one prepared workload — or several.
 //
-// Two modes exist. Static: Catalog/Stats/Queries/Analyses/Caches describe
-// one prebuilt workload; New builds the initial snapshot set from them
-// synchronously and Reload can only rebuild that same environment
-// (force-reload still exercises the full optimizer path). Loader: Loader
-// re-derives the environment — catalog, statistics, queries, analyses —
-// on every (re)load, so statistics drift between calls is picked up by
-// /reload or SIGHUP; the server starts unloaded and becomes ready when
-// the first load succeeds.
+// Three modes exist. Static: Catalog/Stats/Queries/Analyses/Caches
+// describe one prebuilt workload; New builds the initial snapshot set
+// from them synchronously and Reload can only rebuild that same
+// environment (force-reload still exercises the full optimizer path).
+// Loader: Loader re-derives the environment — catalog, statistics,
+// queries, analyses — on every (re)load, so statistics drift between
+// calls is picked up by /reload or SIGHUP; the server starts unloaded
+// and becomes ready when the first load succeeds. Tenants: each entry is
+// its own loader-mode workload, routed by name; MaxResident bounds how
+// many hold live sets at once.
 type Config struct {
 	Catalog *catalog.Catalog
 	Stats   *stats.Store
@@ -96,67 +112,78 @@ type Config struct {
 	Workers int
 
 	// Loader re-derives the serving environment for hot reloads; nil
-	// means static mode over the fields above.
+	// means static mode over the fields above. Ignored when Tenants is
+	// set.
 	Loader func() (*Environment, error)
 	// SnapshotPath, when set, is consulted on every (re)load — a disk
 	// snapshot matching the environment fingerprint is loaded instead of
 	// re-optimizing — and rewritten (crash-safely) after every rebuild.
+	// Ignored when Tenants is set (each tenant carries its own path).
 	SnapshotPath string
 
-	// MaxInFlight caps concurrently evaluating compute requests
-	// (0 = DefaultMaxInFlight, negative = unlimited).
+	// Tenants, when non-empty, makes this a multi-tenant server: each
+	// entry is an independently loaded, reloaded and evicted workload.
+	// Requests route by tenant name; unrouted requests hit the first
+	// entry.
+	Tenants []TenantConfig
+	// MaxResident caps how many tenants hold a live snapshot set at once
+	// (0 = all of them). Past the cap, publishing one tenant's set
+	// evicts the least-recently-used other tenant; evicted tenants
+	// cold-load on their next request.
+	MaxResident int
+
+	// MaxInFlight caps one tenant's concurrently evaluating compute
+	// requests (0 = DefaultMaxInFlight, negative = unlimited); a
+	// TenantConfig.MaxInFlight overrides it per tenant.
 	MaxInFlight int
+	// MaxBodyBytes caps one request body (0 = DefaultMaxBodyBytes,
+	// negative = unlimited).
+	MaxBodyBytes int64
 	// RequestTimeout bounds one compute request's evaluation
 	// (0 = DefaultRequestTimeout, negative = no deadline).
 	RequestTimeout time.Duration
-	// StrictHealth makes /readyz return 503 while the server is degraded
-	// (the last reload failed); by default degraded is a 200 with a
-	// status field, since the old snapshot still answers correctly.
+	// StrictHealth makes /readyz return 503 while any resident tenant is
+	// degraded (its last reload failed); by default degraded is a 200
+	// with a status field, since the old snapshot still answers
+	// correctly.
 	StrictHealth bool
 	// RetryMin/RetryMax bound the failed-reload backoff
 	// (0 = DefaultRetryMin/Max).
 	RetryMin time.Duration
 	RetryMax time.Duration
-	// Logf, when set, receives one line per reload outcome.
+	// Logf, when set, receives one line per reload/load/evict outcome.
 	Logf func(format string, args ...any)
 }
 
-// Server answers what-if, recommendation and explain questions over a
-// hot-swappable immutable snapshot set. Create with New; serve with
-// Handler; swap with Reload/TriggerReload (or POST /reload).
+// Server answers what-if, recommendation and explain questions over
+// hot-swappable immutable snapshot sets, one per tenant. Create with
+// New; serve with Handler; swap with ReloadNow/ReloadTenant/
+// TriggerReload (or POST /reload).
 type Server struct {
 	cfg Config
 
-	// cur is the live snapshot set (nil until the first load succeeds).
-	// The set swap is one atomic pointer flip: handlers load the pointer
-	// exactly once per request and never reach the field directly, so a
-	// request can never observe half of one set and half of another.
-	//pinum:atomic-only current,swap
-	cur atomic.Pointer[snapshotSet]
+	// The tenant registry (see tenant.go). tenantNames is sorted;
+	// defaultName is the tenant unrouted requests hit; multi reports
+	// whether Config.Tenants was used (single-tenant servers keep the
+	// pre-tenant wire contract exactly).
+	tenants     map[string]*tenant
+	tenantNames []string
+	defaultName string
+	multi       bool
 
-	// reloadMu serializes reloads; reloadQueue bounds queued triggers.
-	reloadMu    sync.Mutex
-	reloadQueue chan struct{}
+	// residentCap bounds live snapshot sets across tenants; resMu
+	// serializes the LRU residency sweep; clock issues recency ticks.
+	residentCap int
+	resMu       sync.Mutex
+	clock       atomic.Int64
 
-	// retryMu guards the backoff timer state.
-	retryMu      sync.Mutex
-	retryTimer   *time.Timer
-	retryAttempt int
-	nextRetryAt  time.Time
-	closed       bool
+	// everLoaded flips once any tenant publishes a set; readiness gates
+	// on it.
+	everLoaded atomic.Bool
 
-	// Reload/lifecycle counters, surfaced in /statz.
-	reloadsOK      atomic.Int64
-	reloadsSkipped atomic.Int64
-	reloadsFailed  atomic.Int64
-	degraded       atomic.Bool
-	lastReloadErr  atomic.Value // string
-	lastSaveErr    atomic.Value // string
-	panics         atomic.Int64
-	rejected       atomic.Int64
-
-	// inflight is the admission-control semaphore (nil = unlimited).
-	inflight chan struct{}
+	// Process-wide counters surfaced in /statz.
+	panics    atomic.Int64
+	oversized atomic.Int64
 
 	start   time.Time
 	metrics map[string]*endpointMetrics
@@ -171,15 +198,19 @@ type endpointMetrics struct {
 	maxNs    atomic.Int64
 }
 
-// New builds the server. In static mode (no Loader) the initial snapshot
-// set is built synchronously from the provided caches — construction is
-// the only place optimizer-derived state is created, and every request
-// after it runs on shared immutable data plus request-local scratch. In
-// loader mode the server starts unloaded (readiness fails) until the
-// first Reload succeeds.
+// New builds the server. In static mode (no Loader, no Tenants) the
+// initial snapshot set is built synchronously from the provided caches —
+// construction is the only place optimizer-derived state is created, and
+// every request after it runs on shared immutable data plus
+// request-local scratch. In loader mode the server starts unloaded
+// (readiness fails) until the first load succeeds. In tenant mode every
+// entry starts cold; loads happen on first request or explicit reload.
 func New(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight == 0 {
 		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
@@ -191,35 +222,57 @@ func New(cfg Config) (*Server, error) {
 		cfg.RetryMax = DefaultRetryMax
 	}
 	s := &Server{
-		cfg:         cfg,
-		reloadQueue: make(chan struct{}, 2),
-		start:       time.Now(),
-		mux:         http.NewServeMux(),
-	}
-	if cfg.MaxInFlight > 0 {
-		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+		cfg:     cfg,
+		tenants: make(map[string]*tenant),
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
 	}
 
-	if cfg.Loader == nil {
-		if len(cfg.Queries) == 0 {
-			return nil, fmt.Errorf("serve: no queries")
+	if len(cfg.Tenants) > 0 {
+		s.multi = true
+		s.residentCap = cfg.MaxResident
+		for _, tc := range cfg.Tenants {
+			if !plancache.ValidTenantName(tc.Name) {
+				return nil, fmt.Errorf("serve: invalid tenant name %q", tc.Name)
+			}
+			if s.tenants[tc.Name] != nil {
+				return nil, fmt.Errorf("serve: duplicate tenant %q", tc.Name)
+			}
+			if tc.Loader == nil {
+				return nil, fmt.Errorf("serve: tenant %q needs a Loader", tc.Name)
+			}
+			s.tenants[tc.Name] = s.newTenant(tc.Name, tc.Loader, tc.SnapshotPath, tc.MaxInFlight)
+			s.tenantNames = append(s.tenantNames, tc.Name)
 		}
-		if len(cfg.Caches) != len(cfg.Queries) || len(cfg.Analyses) != len(cfg.Queries) {
-			return nil, fmt.Errorf("serve: %d queries need matching caches (%d) and analyses (%d)",
-				len(cfg.Queries), len(cfg.Caches), len(cfg.Analyses))
+		s.defaultName = cfg.Tenants[0].Name
+		sort.Strings(s.tenantNames)
+	} else {
+		t := s.newTenant(DefaultTenant, cfg.Loader, cfg.SnapshotPath, cfg.MaxInFlight)
+		s.tenants[DefaultTenant] = t
+		s.tenantNames = []string{DefaultTenant}
+		s.defaultName = DefaultTenant
+
+		if cfg.Loader == nil {
+			if len(cfg.Queries) == 0 {
+				return nil, fmt.Errorf("serve: no queries")
+			}
+			if len(cfg.Caches) != len(cfg.Queries) || len(cfg.Analyses) != len(cfg.Queries) {
+				return nil, fmt.Errorf("serve: %d queries need matching caches (%d) and analyses (%d)",
+					len(cfg.Queries), len(cfg.Caches), len(cfg.Analyses))
+			}
+			env := &Environment{
+				Catalog:  cfg.Catalog,
+				Stats:    cfg.Stats,
+				Queries:  cfg.Queries,
+				Analyses: cfg.Analyses,
+				Weights:  cfg.Weights,
+			}
+			set, err := newSnapshotSet(env, cfg.Caches, sourceStartup)
+			if err != nil {
+				return nil, err
+			}
+			t.publish(set)
 		}
-		env := &Environment{
-			Catalog:  cfg.Catalog,
-			Stats:    cfg.Stats,
-			Queries:  cfg.Queries,
-			Analyses: cfg.Analyses,
-			Weights:  cfg.Weights,
-		}
-		set, err := newSnapshotSet(env, cfg.Caches, sourceStartup)
-		if err != nil {
-			return nil, err
-		}
-		s.swap(set)
 	}
 
 	s.metrics = map[string]*endpointMetrics{
@@ -241,27 +294,34 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// newTenant builds one registry entry. maxInFlight 0 inherits the
+// server-wide cap; negative means unlimited.
+func (s *Server) newTenant(name string, loader func() (*Environment, error), snapshotPath string, maxInFlight int) *tenant {
+	if maxInFlight == 0 {
+		maxInFlight = s.cfg.MaxInFlight
+	}
+	t := &tenant{
+		name:         name,
+		srv:          s,
+		loader:       loader,
+		snapshotPath: snapshotPath,
+		reloadQueue:  make(chan struct{}, 2),
+	}
+	if maxInFlight > 0 {
+		t.inflight = make(chan struct{}, maxInFlight)
+	}
+	return t
+}
+
 // Handler returns the HTTP handler serving every endpoint.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// current returns the live snapshot set (nil before the first load). It
-// is the one read-side accessor for the swapped state.
-func (s *Server) current() *snapshotSet { return s.cur.Load() }
-
-// swap publishes a freshly built set; the single write-side accessor.
-func (s *Server) swap(set *snapshotSet) { s.cur.Store(set) }
-
-// Close stops the reload retry machinery. In-flight requests finish
-// normally; the caller owns the HTTP listener's own shutdown.
+// Close stops every tenant's reload retry machinery. In-flight requests
+// finish normally; the caller owns the HTTP listener's own shutdown.
 func (s *Server) Close() {
-	s.retryMu.Lock()
-	defer s.retryMu.Unlock()
-	s.closed = true
-	if s.retryTimer != nil {
-		s.retryTimer.Stop()
-		s.retryTimer = nil
+	for _, name := range s.tenantNames {
+		s.tenants[name].stopRetry()
 	}
-	s.nextRetryAt = time.Time{}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -292,11 +352,11 @@ func errNotReady() error {
 }
 
 // instrument wraps a handler with method filtering, panic containment,
-// admission control, the per-request deadline, JSON error rendering and
-// the endpoint's latency/throughput counters. compute marks the
-// expensive endpoints that sit behind admission control and deadlines;
-// health/metrics endpoints stay exempt so a saturated server can still
-// be observed.
+// the per-request deadline, JSON error rendering and the endpoint's
+// latency/throughput counters. compute marks the expensive endpoints
+// that sit behind deadlines and (inside computeOn, once the body names a
+// tenant) per-tenant admission control; health/metrics endpoints stay
+// exempt so a saturated server can still be observed.
 func (s *Server) instrument(name, method string, compute bool, fn func(*http.Request) (any, error)) http.HandlerFunc {
 	m := s.metrics[name]
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -306,22 +366,13 @@ func (s *Server) instrument(name, method string, compute bool, fn func(*http.Req
 			resp any
 			err  error
 		)
-		switch {
-		case r.Method != method:
+		if r.Method != method {
 			err = &httpError{code: http.StatusMethodNotAllowed, err: fmt.Errorf("%s requires %s", name, method)}
-		case compute && !s.admit():
-			err = &httpError{
-				code: http.StatusTooManyRequests,
-				err:  fmt.Errorf("server is at its in-flight request limit (%d); retry later", s.cfg.MaxInFlight),
-			}
-		default:
-			if compute {
-				defer s.release()
-				if s.cfg.RequestTimeout > 0 {
-					ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-					defer cancel()
-					r = r.WithContext(ctx)
-				}
+		} else {
+			if compute && s.cfg.RequestTimeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+				defer cancel()
+				r = r.WithContext(ctx)
 			}
 			resp, err = s.contain(name, fn, r)
 		}
@@ -365,26 +416,6 @@ func (s *Server) contain(name string, fn func(*http.Request) (any, error), r *ht
 	return fn(r)
 }
 
-// admit takes an admission slot, or reports the server full.
-func (s *Server) admit() bool {
-	if s.inflight == nil {
-		return true
-	}
-	select {
-	case s.inflight <- struct{}{}:
-		return true
-	default:
-		s.rejected.Add(1)
-		return false
-	}
-}
-
-func (s *Server) release() {
-	if s.inflight != nil {
-		<-s.inflight
-	}
-}
-
 // ----------------------------------------------------------- whatif ----
 
 // IndexSpec names one hypothetical index in a request.
@@ -393,9 +424,22 @@ type IndexSpec struct {
 	Columns []string `json:"columns"`
 }
 
+// WeightOverride reweights one workload query for the duration of a
+// request. Each query may appear at most once; weights must be positive
+// and finite.
+type WeightOverride struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+}
+
 // WhatIfRequest prices the workload under a configuration.
 type WhatIfRequest struct {
-	Indexes []IndexSpec `json:"indexes"`
+	// Tenant routes the request in a multi-tenant server; it must agree
+	// with the X-Pinum-Tenant header when both are set. Empty means the
+	// default tenant.
+	Tenant  string           `json:"tenant,omitempty"`
+	Indexes []IndexSpec      `json:"indexes"`
+	Weights []WeightOverride `json:"weights,omitempty"`
 }
 
 // QueryCost is one query's answer.
@@ -413,21 +457,29 @@ type WhatIfResponse struct {
 	Queries   []QueryCost `json:"queries"`
 }
 
-// WhatIf prices the workload under the given configuration: per-query
-// cache lookups fan over the worker pool, and the weighted total is
-// summed in workload order — the same arithmetic, in the same order, as
-// the in-process advisor's workload costing, so results agree bit for
-// bit.
+// WhatIf prices the workload under the given configuration on the
+// tenant the request names (default tenant when empty): per-query cache
+// lookups fan over the worker pool, and the weighted total is summed in
+// workload order — the same arithmetic, in the same order, as the
+// in-process advisor's workload costing, so results agree bit for bit.
 func (s *Server) WhatIf(req *WhatIfRequest) (*WhatIfResponse, error) {
-	return s.whatIf(context.Background(), req)
+	t, err := s.tenantByName(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	set, err := s.acquireSet(t)
+	if err != nil {
+		return nil, err
+	}
+	return s.whatIfOn(context.Background(), set, req)
 }
 
-func (s *Server) whatIf(ctx context.Context, req *WhatIfRequest) (*WhatIfResponse, error) {
-	set := s.current()
-	if set == nil {
-		return nil, errNotReady()
-	}
+func (s *Server) whatIfOn(ctx context.Context, set *snapshotSet, req *WhatIfRequest) (*WhatIfResponse, error) {
 	cfg, err := set.resolveConfig(req.Indexes)
+	if err != nil {
+		return nil, err
+	}
+	weights, overridden, err := set.resolveWeights(req.Weights)
 	if err != nil {
 		return nil, err
 	}
@@ -443,13 +495,23 @@ func (s *Server) whatIf(ctx context.Context, req *WhatIfRequest) (*WhatIfRespons
 		return nil, fmt.Errorf("request abandoned: %w", fanErr)
 	}
 	resp := &WhatIfResponse{BaseTotal: set.baseTotal, Queries: make([]QueryCost, n)}
+	if overridden {
+		// The precomputed base total carries the set's weights; overridden
+		// requests re-sum it below, in the identical order, so the
+		// no-override path stays byte-for-byte what it always was.
+		resp.BaseTotal = 0
+	}
 	for i := 0; i < n; i++ {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("pricing %s: %w", set.env.Queries[i].Name, errs[i])
 		}
 		resp.Queries[i] = QueryCost{Name: set.env.Queries[i].Name, Base: set.base[i], Cost: costs[i]}
 		//pinum:costarith-ok workload objective Σ wᵢ·cᵢ mirroring advisor.workloadCost; pinned by TestWhatIfMatchesInProcess
-		resp.Total += set.weights[i] * costs[i]
+		resp.Total += weights[i] * costs[i]
+		if overridden {
+			//pinum:costarith-ok same objective over the request's override weights; pinned by TestWeightOverrides
+			resp.BaseTotal += weights[i] * set.base[i]
+		}
 	}
 	if resp.BaseTotal > 0 {
 		resp.Speedup = math.Max(0, 1-resp.Total/resp.BaseTotal)
@@ -459,18 +521,23 @@ func (s *Server) whatIf(ctx context.Context, req *WhatIfRequest) (*WhatIfRespons
 
 func (s *Server) handleWhatIf(r *http.Request) (any, error) {
 	var req WhatIfRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(r, &req); err != nil {
 		return nil, err
 	}
-	return s.whatIf(r.Context(), &req)
+	return s.computeOn(r, req.Tenant, func(t *tenant, set *snapshotSet) (any, error) {
+		return s.whatIfOn(r.Context(), set, &req)
+	})
 }
 
 // -------------------------------------------------------- recommend ----
 
 // RecommendRequest runs the index advisor under a space budget.
 type RecommendRequest struct {
-	BudgetGB   float64 `json:"budget_gb"`
-	MaxIndexes int     `json:"max_indexes"`
+	// Tenant routes the request; see WhatIfRequest.Tenant.
+	Tenant     string           `json:"tenant,omitempty"`
+	BudgetGB   float64          `json:"budget_gb"`
+	MaxIndexes int              `json:"max_indexes"`
+	Weights    []WeightOverride `json:"weights,omitempty"`
 }
 
 // RecommendResponse reports the advisor's suggestion.
@@ -493,20 +560,29 @@ type EngineStats struct {
 	QuerySkips     int64 `json:"query_skips"`
 }
 
-// Recommend runs one greedy advisor search over the shared caches with
-// request-local engine state. Results are identical to an in-process
-// advisor.Run over the same workload, weights and budget.
+// Recommend runs one greedy advisor search over the named tenant's
+// shared caches with request-local engine state. Results are identical
+// to an in-process advisor.Run over the same workload, weights and
+// budget.
 func (s *Server) Recommend(req *RecommendRequest) (*RecommendResponse, error) {
-	return s.recommend(context.Background(), req)
+	t, err := s.tenantByName(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	set, err := s.acquireSet(t)
+	if err != nil {
+		return nil, err
+	}
+	return s.recommendOn(context.Background(), set, req)
 }
 
-func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (*RecommendResponse, error) {
-	set := s.current()
-	if set == nil {
-		return nil, errNotReady()
-	}
+func (s *Server) recommendOn(ctx context.Context, set *snapshotSet, req *RecommendRequest) (*RecommendResponse, error) {
 	if req.BudgetGB <= 0 {
 		return nil, badRequest("budget_gb must be positive, got %g", req.BudgetGB)
+	}
+	weights, _, err := set.resolveWeights(req.Weights)
+	if err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("request abandoned: %w", err)
@@ -515,7 +591,7 @@ func (s *Server) recommend(ctx context.Context, req *RecommendRequest) (*Recomme
 	ad.Parallelism = s.cfg.Workers
 	ad.MaxIndexes = req.MaxIndexes
 	for i, q := range set.env.Queries {
-		if err := ad.AddPrepared(q, set.env.Analyses[i], set.caches[i], set.weights[i]); err != nil {
+		if err := ad.AddPrepared(q, set.env.Analyses[i], set.caches[i], weights[i]); err != nil {
 			return nil, err
 		}
 	}
@@ -562,16 +638,20 @@ func RecommendResponseFrom(res *advisor.Result, queries []*query.Query) *Recomme
 
 func (s *Server) handleRecommend(r *http.Request) (any, error) {
 	var req RecommendRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(r, &req); err != nil {
 		return nil, err
 	}
-	return s.recommend(r.Context(), &req)
+	return s.computeOn(r, req.Tenant, func(t *tenant, set *snapshotSet) (any, error) {
+		return s.recommendOn(r.Context(), set, &req)
+	})
 }
 
 // ---------------------------------------------------------- explain ----
 
 // ExplainRequest optimizes one query under a configuration.
 type ExplainRequest struct {
+	// Tenant routes the request; see WhatIfRequest.Tenant.
+	Tenant  string      `json:"tenant,omitempty"`
 	SQL     string      `json:"sql"`
 	Indexes []IndexSpec `json:"indexes"`
 }
@@ -601,10 +681,18 @@ type ExplainResponse struct {
 // All state is request-local except the set's read-only catalog and its
 // index interner.
 func (s *Server) Explain(req *ExplainRequest) (*ExplainResponse, error) {
-	set := s.current()
-	if set == nil {
-		return nil, errNotReady()
+	t, err := s.tenantByName(req.Tenant)
+	if err != nil {
+		return nil, err
 	}
+	set, err := s.acquireSet(t)
+	if err != nil {
+		return nil, err
+	}
+	return explainOn(set, req)
+}
+
+func explainOn(set *snapshotSet, req *ExplainRequest) (*ExplainResponse, error) {
 	if req.SQL == "" {
 		return nil, badRequest("sql is required")
 	}
@@ -653,21 +741,53 @@ func (s *Server) Explain(req *ExplainRequest) (*ExplainResponse, error) {
 
 func (s *Server) handleExplain(r *http.Request) (any, error) {
 	var req ExplainRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(r, &req); err != nil {
 		return nil, err
 	}
-	return s.Explain(&req)
+	return s.computeOn(r, req.Tenant, func(t *tenant, set *snapshotSet) (any, error) {
+		return explainOn(set, &req)
+	})
 }
 
 // ------------------------------------------------- health / metrics ----
 
 // handleHealth is liveness plus a status summary: the process is up, so
-// the answer is always 200 — "status" distinguishes ok, degraded (last
-// reload failed; the previous snapshot keeps serving) and starting (no
-// snapshot yet). Readiness gating belongs to /readyz.
-func (s *Server) handleHealth(*http.Request) (any, error) {
-	set := s.current()
-	out := map[string]any{"status": s.statusWord(set)}
+// the answer is always 200. Single-tenant servers keep the pre-tenant
+// payload (status, fingerprint, snapshot_source, …); multi-tenant
+// servers report the registry overview, with ?tenant= selecting one
+// tenant's detail in the single-tenant shape.
+func (s *Server) handleHealth(r *http.Request) (any, error) {
+	if name := r.URL.Query().Get("tenant"); name != "" || !s.multi {
+		t, err := s.tenantByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return s.tenantHealth(t), nil
+	}
+	statuses := make(map[string]string, len(s.tenants))
+	for _, name := range s.tenantNames {
+		statuses[name] = s.tenants[name].statusWord()
+	}
+	out := map[string]any{
+		"status":           s.serverStatus(),
+		"tenants":          len(s.tenants),
+		"tenants_resident": s.residentCount(),
+		"tenant_status":    statuses,
+	}
+	if s.residentCap > 0 {
+		out["resident_cap"] = s.residentCap
+	}
+	return out, nil
+}
+
+// tenantHealth is one tenant's health detail — in single-tenant mode,
+// the entire (pre-tenant, byte-compatible) /healthz payload.
+func (s *Server) tenantHealth(t *tenant) map[string]any {
+	set := t.current()
+	out := map[string]any{"status": t.statusWord()}
+	if s.multi {
+		out["tenant"] = t.name
+	}
 	if set != nil {
 		entries, slim := 0, true
 		for _, c := range set.caches {
@@ -682,43 +802,63 @@ func (s *Server) handleHealth(*http.Request) (any, error) {
 		out["fingerprint"] = fmt.Sprintf("%016x", set.fingerprint)
 		out["snapshot_source"] = set.source
 	}
-	if msg := loadString(&s.lastReloadErr); msg != "" {
+	if msg := loadString(&t.lastReloadErr); msg != "" {
 		out["last_reload_error"] = msg
 	}
-	return out, nil
+	return out
 }
 
 // handleReady is readiness: 503 until the first snapshot set is
-// published, and — behind StrictHealth — 503 while degraded. A degraded
-// server is serving correct (if stale) answers, so by default it stays
-// ready with the degradation surfaced in the status field.
+// published anywhere, and — behind StrictHealth — 503 while any
+// resident tenant is degraded. A degraded tenant is serving correct (if
+// stale) answers, so by default the server stays ready with the
+// degradation surfaced in the status field.
 func (s *Server) handleReady(*http.Request) (any, error) {
-	set := s.current()
-	status := s.statusWord(set)
-	if set == nil {
+	if !s.everLoaded.Load() {
 		return nil, &httpError{
 			code: http.StatusServiceUnavailable,
 			err:  errors.New("starting: no snapshot loaded yet"),
 		}
 	}
-	if s.cfg.StrictHealth && s.degraded.Load() {
-		return nil, &httpError{
-			code: http.StatusServiceUnavailable,
-			err:  fmt.Errorf("degraded: %s", loadString(&s.lastReloadErr)),
+	if s.cfg.StrictHealth {
+		for _, name := range s.tenantNames {
+			t := s.tenants[name]
+			if t.current() != nil && t.degraded.Load() {
+				msg := loadString(&t.lastReloadErr)
+				if s.multi {
+					return nil, &httpError{
+						code: http.StatusServiceUnavailable,
+						err:  fmt.Errorf("degraded: tenant %s: %s", t.name, msg),
+					}
+				}
+				return nil, &httpError{
+					code: http.StatusServiceUnavailable,
+					err:  fmt.Errorf("degraded: %s", msg),
+				}
+			}
 		}
 	}
-	return map[string]any{"status": status}, nil
+	return map[string]any{"status": s.serverStatus()}, nil
 }
 
-func (s *Server) statusWord(set *snapshotSet) string {
-	switch {
-	case set == nil:
-		return "starting"
-	case s.degraded.Load():
-		return "degraded"
-	default:
-		return "ok"
+// serverStatus is the process-level status word: the default tenant's
+// word in single-tenant mode (preserving the pre-tenant contract), and
+// starting / degraded-if-any-resident-tenant-is / ok across the registry
+// otherwise.
+func (s *Server) serverStatus() string {
+	if !s.multi {
+		return s.defaultTenant().statusWord()
 	}
+	if !s.everLoaded.Load() {
+		return "starting"
+	}
+	for _, name := range s.tenantNames {
+		t := s.tenants[name]
+		if t.current() != nil && t.degraded.Load() {
+			return "degraded"
+		}
+	}
+	return "ok"
 }
 
 // EndpointStats is one endpoint's counters as /statz reports them.
@@ -729,7 +869,7 @@ type EndpointStats struct {
 	MaxMs    float64 `json:"max_ms"`
 }
 
-// ReloadStats is the reload state machine as /statz reports it.
+// ReloadStats is one tenant's reload state machine as /statz reports it.
 type ReloadStats struct {
 	Completed     int64  `json:"completed"`
 	Skipped       int64  `json:"skipped"`
@@ -741,7 +881,18 @@ type ReloadStats struct {
 	NextRetryInMs int64  `json:"next_retry_in_ms,omitempty"`
 }
 
-func (s *Server) handleStatz(*http.Request) (any, error) {
+// handleStatz reports process counters, per-endpoint latency stats and a
+// per-tenant section each. Single-tenant servers additionally keep every
+// pre-tenant top-level field (reloads, fingerprint, …) so existing
+// scrapers read them unchanged; ?tenant= narrows to one tenant.
+func (s *Server) handleStatz(r *http.Request) (any, error) {
+	if name := r.URL.Query().Get("tenant"); name != "" {
+		t, err := s.tenantByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"tenant": t.name, "stats": t.stats()}, nil
+	}
 	eps := make(map[string]EndpointStats, len(s.metrics))
 	names := make([]string, 0, len(s.metrics))
 	for name := range s.metrics {
@@ -761,54 +912,45 @@ func (s *Server) handleStatz(*http.Request) (any, error) {
 		}
 		eps[name] = st
 	}
-	rs := ReloadStats{
-		Completed:     s.reloadsOK.Load(),
-		Skipped:       s.reloadsSkipped.Load(),
-		Failed:        s.reloadsFailed.Load(),
-		Degraded:      s.degraded.Load(),
-		LastError:     loadString(&s.lastReloadErr),
-		LastSaveError: loadString(&s.lastSaveErr),
+	var rejected int64
+	tstats := make(map[string]TenantStats, len(s.tenants))
+	for _, name := range s.tenantNames {
+		t := s.tenants[name]
+		rejected += t.rejected.Load()
+		tstats[name] = t.stats()
 	}
-	s.retryMu.Lock()
-	rs.RetryAttempt = s.retryAttempt
-	if !s.nextRetryAt.IsZero() {
-		if ms := time.Until(s.nextRetryAt).Milliseconds(); ms > 0 {
-			rs.NextRetryInMs = ms
-		} else {
-			rs.NextRetryInMs = 1 // due; not yet run
-		}
-	}
-	s.retryMu.Unlock()
 	out := map[string]any{
-		"uptime_seconds":   time.Since(s.start).Seconds(),
-		"interned_indexes": s.internedCount(),
-		"endpoints":        eps,
-		"reloads":          rs,
-		"panics":           s.panics.Load(),
-		"rejected":         s.rejected.Load(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"endpoints":      eps,
+		"panics":         s.panics.Load(),
+		"rejected":       rejected,
+		"oversized":      s.oversized.Load(),
+		"tenants":        tstats,
 	}
-	if s.inflight != nil {
-		out["in_flight"] = len(s.inflight)
-	}
-	set := s.current()
-	if set != nil {
-		out["fingerprint"] = fmt.Sprintf("%016x", set.fingerprint)
-		out["snapshot_source"] = set.source
-		out["queries_reused"] = set.reused
-		out["queries_rebuilt"] = set.rebuilt
-		if len(set.genErrors) > 0 {
-			out["candidate_gen_errors"] = set.genErrors
+	if s.multi {
+		out["tenants_resident"] = s.residentCount()
+		if s.residentCap > 0 {
+			out["resident_cap"] = s.residentCap
+		}
+	} else {
+		t := s.defaultTenant()
+		out["reloads"] = t.reloadStats()
+		out["interned_indexes"] = 0
+		if t.inflight != nil {
+			out["in_flight"] = len(t.inflight)
+		}
+		if set := t.current(); set != nil {
+			out["interned_indexes"] = set.internedCount()
+			out["fingerprint"] = fmt.Sprintf("%016x", set.fingerprint)
+			out["snapshot_source"] = set.source
+			out["queries_reused"] = set.reused
+			out["queries_rebuilt"] = set.rebuilt
+			if len(set.genErrors) > 0 {
+				out["candidate_gen_errors"] = set.genErrors
+			}
 		}
 	}
 	return out, nil
-}
-
-func (s *Server) internedCount() int {
-	set := s.current()
-	if set == nil {
-		return 0
-	}
-	return set.internedCount()
 }
 
 func loadString(v *atomic.Value) string {
@@ -831,11 +973,42 @@ func EncodeJSON(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
+// decodeBody reads one JSON value — and nothing else — from a bounded
+// request body. Oversized bodies (past Config.MaxBodyBytes) are a
+// counted 413 instead of an unbounded allocation; unknown fields and any
+// non-whitespace trailing data (a second JSON value, concatenated
+// garbage) are a 400, so a malformed pipelined payload fails loudly
+// instead of being half-read.
+func (s *Server) decodeBody(r *http.Request, v any) error {
+	body := r.Body
+	if s.cfg.MaxBodyBytes > 0 {
+		// nil ResponseWriter: the 413 is rendered by instrument; the
+		// reader only enforces the limit and types the error.
+		body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	}
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.oversized.Add(1)
+			return &httpError{
+				code: http.StatusRequestEntityTooLarge,
+				err:  fmt.Errorf("request body exceeds %d bytes", mbe.Limit),
+			}
+		}
 		return badRequest("bad request body: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.oversized.Add(1)
+			return &httpError{
+				code: http.StatusRequestEntityTooLarge,
+				err:  fmt.Errorf("request body exceeds %d bytes", mbe.Limit),
+			}
+		}
+		return badRequest("trailing data after JSON value")
 	}
 	return nil
 }

@@ -1,0 +1,431 @@
+package serve
+
+// Multi-tenant registry: one pinum-serve process fronts N workloads.
+// Every tenant is an independently reloadable snapshotSet (PR 8's
+// immutable-set + atomic-pointer model, instantiated per entry) keyed by
+// tenant name, with the environment fingerprint validating its snapshot
+// file on every load. Requests route by the `tenant` body field or the
+// X-Pinum-Tenant header; absent both, they hit the default tenant, so a
+// single-tenant deployment behaves exactly as before.
+//
+// Residency: the registry knows every configured tenant, but only up to
+// Config.MaxResident of them hold a live snapshot set at a time. A
+// request for an evicted (or never-loaded) tenant triggers a singleflight
+// cold load — snapshot store first (plancache.Load, fingerprint checked),
+// full rebuild as the fallback — and then the least-recently-used
+// resident tenant is evicted to restore the cap. Eviction is one atomic
+// nil store: in-flight requests keep the immutable set they already
+// loaded, so nothing ever blocks on the hot path; the set (and its
+// interner and leaf memos) becomes garbage once the last request drops
+// it.
+//
+// Isolation: each tenant has its own max-in-flight admission semaphore,
+// so one tenant's /recommend storm 429s against its own cap while every
+// other tenant keeps serving, and its own reload/retry state machine, so
+// a tenant stuck degraded retries on its own backoff without touching its
+// neighbors.
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pinumdb/pinum/internal/faultpoint"
+)
+
+// TenantHeader is the HTTP header that routes a request to a tenant; the
+// `tenant` field in a request body is the equivalent in-band form. When
+// both are present they must agree.
+const TenantHeader = "X-Pinum-Tenant"
+
+// DefaultTenant is the tenant name a single-tenant Config serves under,
+// and the one requests without any tenant routing hit in that mode.
+const DefaultTenant = "default"
+
+// TenantConfig describes one served workload in a multi-tenant server.
+type TenantConfig struct {
+	// Name routes requests and keys the tenant's snapshot in the store;
+	// it must satisfy plancache.ValidTenantName.
+	Name string
+	// Loader re-derives this tenant's environment on every (re)load.
+	Loader func() (*Environment, error)
+	// SnapshotPath, when set, is this tenant's fingerprint-checked
+	// snapshot file: consulted before rebuilding on every load, rewritten
+	// after every rebuild.
+	SnapshotPath string
+	// MaxInFlight caps this tenant's concurrently evaluating compute
+	// requests (0 = the server's MaxInFlight, negative = unlimited).
+	MaxInFlight int
+}
+
+// tenant is one workload's complete serving state: the hot-swapped
+// snapshot set, the reload/retry machinery that replaces it, the
+// admission semaphore that bounds it, and the counters that surface it
+// in /statz. Everything PR 8 hung off Server now hangs off the tenant,
+// instantiated once per entry.
+type tenant struct {
+	name         string
+	srv          *Server
+	loader       func() (*Environment, error)
+	snapshotPath string
+
+	// cur is the tenant's live snapshot set; nil while the tenant is cold
+	// (never loaded, or evicted by the residency cap). The swap is one
+	// atomic pointer flip: handlers load the pointer exactly once per
+	// request and never reach the field directly.
+	//pinum:atomic-only current,swap
+	cur atomic.Pointer[snapshotSet]
+
+	// reloadMu serializes this tenant's loads and reloads — it is also
+	// the cold-load singleflight: a thundering herd on a cold tenant
+	// queues here while the first request builds, then reuses its set.
+	reloadMu    sync.Mutex
+	reloadQueue chan struct{}
+
+	// retryMu guards the failed-reload backoff timer state.
+	retryMu      sync.Mutex
+	retryTimer   *time.Timer
+	retryAttempt int
+	nextRetryAt  time.Time
+	closed       bool
+
+	// inflight is this tenant's admission semaphore (nil = unlimited).
+	inflight chan struct{}
+
+	// lastUsed is the registry clock tick of the last request routed
+	// here; the residency sweep evicts the smallest value.
+	lastUsed atomic.Int64
+
+	// Counters surfaced in the tenant's /statz section.
+	reloadsOK      atomic.Int64
+	reloadsSkipped atomic.Int64
+	reloadsFailed  atomic.Int64
+	coldLoads      atomic.Int64
+	evictions      atomic.Int64
+	degraded       atomic.Bool
+	lastReloadErr  atomic.Value // string
+	lastSaveErr    atomic.Value // string
+	rejected       atomic.Int64
+	requests       atomic.Int64
+	errors         atomic.Int64
+}
+
+// current returns the tenant's live snapshot set (nil while cold). It is
+// the one read-side accessor for the swapped state.
+func (t *tenant) current() *snapshotSet { return t.cur.Load() }
+
+// swap publishes a freshly built set — or nil, which is how eviction
+// retires one. The single write-side accessor.
+func (t *tenant) swap(set *snapshotSet) { t.cur.Store(set) }
+
+// publish makes a successfully built set live and settles the residency
+// cap: every code path that swaps in a non-nil set goes through here, so
+// the registry can never lose track of a resident tenant.
+func (t *tenant) publish(set *snapshotSet) {
+	t.swap(set)
+	t.srv.everLoaded.Store(true)
+	t.srv.touch(t)
+	t.srv.noteResident(t)
+}
+
+// admit takes an admission slot against this tenant's cap, or reports it
+// full. Caps are per tenant by design: a storm on one tenant exhausts
+// its own semaphore and 429s, while every other tenant's slots — and the
+// health endpoints — stay free.
+func (t *tenant) admit() error {
+	if t.inflight == nil {
+		return nil
+	}
+	select {
+	case t.inflight <- struct{}{}:
+		return nil
+	default:
+		t.rejected.Add(1)
+		return &httpError{
+			code: http.StatusTooManyRequests,
+			err:  fmt.Errorf("tenant %q is at its in-flight request limit (%d); retry later", t.name, cap(t.inflight)),
+		}
+	}
+}
+
+func (t *tenant) release() {
+	if t.inflight != nil {
+		<-t.inflight
+	}
+}
+
+// statusWord is this tenant's health summary: cold (no resident set —
+// never loaded or evicted; "starting" in single-tenant mode for
+// continuity with the pre-tenant health contract), degraded (last reload
+// failed; the previous set keeps serving), or ok.
+func (t *tenant) statusWord() string {
+	switch {
+	case t.current() == nil:
+		if t.srv.multi {
+			return "cold"
+		}
+		return "starting"
+	case t.degraded.Load():
+		return "degraded"
+	default:
+		return "ok"
+	}
+}
+
+// ------------------------------------------------------- registry ------
+
+// resolveTenant routes a request: the X-Pinum-Tenant header and the
+// request body's tenant field must agree when both are set; absent both,
+// the default tenant serves, which is what keeps single-tenant requests
+// byte-identical to the pre-tenant server.
+func (s *Server) resolveTenant(r *http.Request, bodyTenant string) (*tenant, error) {
+	name := bodyTenant
+	if header := r.Header.Get(TenantHeader); header != "" {
+		if bodyTenant != "" && bodyTenant != header {
+			return nil, badRequest("tenant %q in the request body disagrees with %s %q",
+				bodyTenant, TenantHeader, header)
+		}
+		name = header
+	}
+	return s.tenantByName(name)
+}
+
+// tenantByName resolves a tenant name ("" = the default tenant).
+func (s *Server) tenantByName(name string) (*tenant, error) {
+	if name == "" {
+		name = s.defaultName
+	}
+	t := s.tenants[name]
+	if t == nil {
+		return nil, &httpError{
+			code: http.StatusNotFound,
+			err:  fmt.Errorf("unknown tenant %q (%d configured)", name, len(s.tenants)),
+		}
+	}
+	return t, nil
+}
+
+// defaultTenant returns the tenant unrouted requests hit: the sole
+// tenant in single-tenant mode, the first configured one otherwise.
+func (s *Server) defaultTenant() *tenant { return s.tenants[s.defaultName] }
+
+// TenantNames lists the configured tenants in sorted order.
+func (s *Server) TenantNames() []string {
+	out := make([]string, len(s.tenantNames))
+	copy(out, s.tenantNames)
+	return out
+}
+
+// touch stamps t with a fresh recency tick.
+func (s *Server) touch(t *tenant) { t.lastUsed.Store(s.clock.Add(1)) }
+
+// acquireSet returns the tenant's live snapshot set, cold-loading it
+// first when the residency cap evicted it (or it was never requested).
+// The load is singleflight — reloadMu admits one builder; the herd
+// queues behind it and reuses the published set — and cheapest-first:
+// buildSet consults the tenant's snapshot file (fingerprint-checked)
+// before falling back to a full rebuild. A failed cold load is this
+// request's 503, not the tenant's death sentence: nothing is retried in
+// the background, so the next request simply tries again while every
+// other tenant keeps serving untouched.
+func (s *Server) acquireSet(t *tenant) (*snapshotSet, error) {
+	if set := t.current(); set != nil {
+		s.touch(t)
+		return set, nil
+	}
+	if !s.multi {
+		// Single-tenant servers keep the pre-tenant contract: requests
+		// before the first explicit load are 503, never an implicit
+		// multi-second build on a request goroutine.
+		return nil, errNotReady()
+	}
+	t.reloadMu.Lock()
+	defer t.reloadMu.Unlock()
+	if set := t.current(); set != nil {
+		s.touch(t)
+		return set, nil
+	}
+	if err := faultpoint.Hit("serve.tenant.load"); err != nil {
+		return nil, s.coldLoadFailed(t, err)
+	}
+	t.coldLoads.Add(1)
+	set, _, err := t.buildSetContained(false)
+	if err != nil {
+		return nil, s.coldLoadFailed(t, err)
+	}
+	t.publish(set)
+	t.saveSnapshot(set)
+	s.logf("tenant %s: cold load: fingerprint=%016x source=%s", t.name, set.fingerprint, set.source)
+	return set, nil
+}
+
+func (s *Server) coldLoadFailed(t *tenant, err error) error {
+	t.reloadsFailed.Add(1)
+	t.lastReloadErr.Store(err.Error())
+	s.logf("tenant %s: cold load failed: %v", t.name, err)
+	return &httpError{
+		code: http.StatusServiceUnavailable,
+		err:  fmt.Errorf("tenant %q: snapshot load failed: %v", t.name, err),
+	}
+}
+
+// residentCount reports how many tenants currently hold a live set.
+func (s *Server) residentCount() int {
+	n := 0
+	for _, t := range s.tenants {
+		if t.current() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// noteResident restores the residency invariant after a tenant became
+// resident: while more than MaxResident tenants hold live sets, the
+// least-recently-used one (other than the tenant that just loaded) is
+// evicted. Concurrent cold loads may overshoot the cap transiently; the
+// loop converges because every successful publish lands here.
+func (s *Server) noteResident(justLoaded *tenant) {
+	if !s.multi || s.residentCap <= 0 {
+		return
+	}
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	for {
+		resident := 0
+		var victim *tenant
+		for _, name := range s.tenantNames {
+			t := s.tenants[name]
+			if t.current() == nil {
+				continue
+			}
+			resident++
+			if t == justLoaded {
+				continue
+			}
+			if victim == nil || t.lastUsed.Load() < victim.lastUsed.Load() {
+				victim = t
+			}
+		}
+		if resident <= s.residentCap || victim == nil {
+			return
+		}
+		s.evictLocked(victim)
+	}
+}
+
+// evictLocked retires a tenant's resident set (resMu held): one atomic
+// nil store, visible to the next request as a cold load. Requests
+// holding the old set finish on it — sets are immutable, so eviction
+// never blocks or breaks an in-flight evaluation. The retry timer and
+// degraded flag are cleared: an evicted tenant rebuilds its state on the
+// next request instead of resurrecting itself in the background. The
+// serve.tenant.evict faultpoint (delay mode) widens the evict/load race
+// window for tests; error mode is meaningless here and ignored.
+func (s *Server) evictLocked(t *tenant) {
+	_ = faultpoint.Hit("serve.tenant.evict")
+	t.swap(nil)
+	t.clearRetry()
+	t.degraded.Store(false)
+	t.evictions.Add(1)
+	s.logf("tenant %s: evicted (LRU, resident cap %d)", t.name, s.residentCap)
+}
+
+// computeOn is the compute-endpoint spine: route to a tenant, count the
+// request, take its admission slot, make it resident, and run fn against
+// the immutable set — which fn uses for its whole lifetime regardless of
+// concurrent swaps or evictions.
+func (s *Server) computeOn(r *http.Request, bodyTenant string, fn func(*tenant, *snapshotSet) (any, error)) (any, error) {
+	t, err := s.resolveTenant(r, bodyTenant)
+	if err != nil {
+		return nil, err
+	}
+	t.requests.Add(1)
+	if err := t.admit(); err != nil {
+		t.errors.Add(1)
+		return nil, err
+	}
+	defer t.release()
+	set, err := s.acquireSet(t)
+	if err != nil {
+		t.errors.Add(1)
+		return nil, err
+	}
+	resp, err := fn(t, set)
+	if err != nil {
+		t.errors.Add(1)
+	}
+	return resp, err
+}
+
+// TenantStats is one tenant's /statz section.
+type TenantStats struct {
+	Status          string      `json:"status"`
+	Resident        bool        `json:"resident"`
+	Fingerprint     string      `json:"fingerprint,omitempty"`
+	SnapshotSource  string      `json:"snapshot_source,omitempty"`
+	Queries         int         `json:"queries,omitempty"`
+	QueriesReused   int         `json:"queries_reused,omitempty"`
+	QueriesRebuilt  int         `json:"queries_rebuilt,omitempty"`
+	InternedIndexes int         `json:"interned_indexes,omitempty"`
+	Requests        int64       `json:"requests"`
+	Errors          int64       `json:"errors"`
+	Rejected        int64       `json:"rejected"`
+	InFlight        int         `json:"in_flight"`
+	MaxInFlight     int         `json:"max_in_flight,omitempty"`
+	ColdLoads       int64       `json:"cold_loads"`
+	Evictions       int64       `json:"evictions"`
+	Reloads         ReloadStats `json:"reloads"`
+}
+
+// stats snapshots the tenant's counters for /statz.
+func (t *tenant) stats() TenantStats {
+	ts := TenantStats{
+		Status:    t.statusWord(),
+		Requests:  t.requests.Load(),
+		Errors:    t.errors.Load(),
+		Rejected:  t.rejected.Load(),
+		ColdLoads: t.coldLoads.Load(),
+		Evictions: t.evictions.Load(),
+		Reloads:   t.reloadStats(),
+	}
+	if t.inflight != nil {
+		ts.InFlight = len(t.inflight)
+		ts.MaxInFlight = cap(t.inflight)
+	}
+	if set := t.current(); set != nil {
+		ts.Resident = true
+		ts.Fingerprint = fmt.Sprintf("%016x", set.fingerprint)
+		ts.SnapshotSource = set.source
+		ts.Queries = len(set.env.Queries)
+		ts.QueriesReused = set.reused
+		ts.QueriesRebuilt = set.rebuilt
+		ts.InternedIndexes = set.internedCount()
+	}
+	return ts
+}
+
+// reloadStats snapshots the tenant's reload state machine.
+func (t *tenant) reloadStats() ReloadStats {
+	rs := ReloadStats{
+		Completed:     t.reloadsOK.Load(),
+		Skipped:       t.reloadsSkipped.Load(),
+		Failed:        t.reloadsFailed.Load(),
+		Degraded:      t.degraded.Load(),
+		LastError:     loadString(&t.lastReloadErr),
+		LastSaveError: loadString(&t.lastSaveErr),
+	}
+	t.retryMu.Lock()
+	rs.RetryAttempt = t.retryAttempt
+	if !t.nextRetryAt.IsZero() {
+		if ms := time.Until(t.nextRetryAt).Milliseconds(); ms > 0 {
+			rs.NextRetryInMs = ms
+		} else {
+			rs.NextRetryInMs = 1 // due; not yet run
+		}
+	}
+	t.retryMu.Unlock()
+	return rs
+}
