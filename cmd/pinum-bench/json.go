@@ -36,14 +36,26 @@ type benchRecord struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// plannerTotals are the aggregated planner work counters from building
+// the suite's slim cache set — the enumeration/frontier numbers the
+// serving layer exports per tenant, archived here so planner-efficiency
+// drift is visible across PRs next to the timing data.
+type plannerTotals struct {
+	EnumStates        int64 `json:"enum_states"`
+	FrontierInserts   int64 `json:"frontier_inserts"`
+	FrontierDrops     int64 `json:"frontier_drops"`
+	FrontierEvictions int64 `json:"frontier_evictions"`
+}
+
 // benchReport is the BENCH_<label>.json document.
 type benchReport struct {
-	Label      string        `json:"label"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
-	Timestamp  time.Time     `json:"timestamp"`
-	Benchmarks []benchRecord `json:"benchmarks"`
+	Label      string         `json:"label"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	NumCPU     int            `json:"num_cpu"`
+	Timestamp  time.Time      `json:"timestamp"`
+	Benchmarks []benchRecord  `json:"benchmarks"`
+	Planner    *plannerTotals `json:"planner_totals,omitempty"`
 }
 
 // runJSONBench executes the perf suite and writes BENCH_<label>.json to the
@@ -238,6 +250,18 @@ func runJSONBench(label string, seed int64) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	var totals optimizer.PlannerStats
+	for _, c := range slims {
+		totals.Add(c.Stats.Planner)
+	}
+	rep.Planner = &plannerTotals{
+		EnumStates:        int64(totals.EnumStates),
+		FrontierInserts:   int64(totals.FrontierInserts),
+		FrontierDrops:     int64(totals.FrontierDrops),
+		FrontierEvictions: int64(totals.FrontierEvictions),
+	}
+	fmt.Fprintf(os.Stderr, "  planner totals: enum_states=%d frontier_inserts=%d drops=%d evictions=%d\n",
+		totals.EnumStates, totals.FrontierInserts, totals.FrontierDrops, totals.FrontierEvictions)
 	fp := plancache.Fingerprint(env.Star.Catalog, env.Star.Stats, optimizer.DefaultCostParams())
 	snap := plancache.NewSnapshot(fp, slims)
 	var snapBuf bytes.Buffer

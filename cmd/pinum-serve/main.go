@@ -42,10 +42,19 @@
 //	GET  /healthz    liveness + snapshot shape (always 200; status ok|degraded|starting; ?tenant= detail)
 //	GET  /readyz     readiness (503 until the first snapshot; -strict-health adds degraded)
 //	GET  /statz      per-endpoint latency/throughput + per-tenant reload/residency/admission counters
+//	GET  /metrics    Prometheus text exposition (latency histograms, per-tenant counters, runtime gauges)
+//	GET  /eventz     operational event ring (reloads, evictions, cold loads, panics, slow requests)
 //
 // /whatif and /recommend additionally accept per-request weight
 // overrides ({"weights":[{"name":"q01","weight":3}]}); duplicate or
 // unknown query names and non-positive weights are rejected with 400.
+//
+// Observability: requests carrying an X-Pinum-Trace header (or
+// "trace": true in a compute body) get a per-span timing breakdown in
+// the response's "trace" block. -log-format json switches every process
+// and request log line to structured JSON with trace IDs; -slow-request
+// sets the /eventz slow-request threshold; -pprof-addr serves
+// net/http/pprof on a separate listener, isolated from the data plane.
 //
 // Lifecycle: the HTTP server runs with read/write/idle timeouts, compute
 // requests run behind per-request deadlines (-request-timeout), panic
@@ -74,7 +83,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -117,10 +128,44 @@ func main() {
 		"grace period for in-flight requests on SIGTERM/SIGINT")
 	verifyWhatIf := flag.String("verify-whatif", "", "req.json:resp.json — recompute /whatif in-process and compare")
 	verifyRecommend := flag.String("verify-recommend", "", "req.json:resp.json — recompute /recommend via a plain in-process Advisor.Run and compare")
+	logFormat := flag.String("log-format", "text", "structured log format for request/event records: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener; empty = disabled)")
+	slowRequest := flag.Duration("slow-request", serve.DefaultSlowRequest,
+		"requests slower than this are recorded in /eventz (negative = disabled)")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+		// Route the stdlib log lines (snapshot ready, SIGHUP, drained)
+		// through the same handler so the process emits one format.
+		log.SetFlags(0)
+		log.SetOutput(slogWriter{slog.New(handler)})
+	default:
+		fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
+	logger := slog.New(handler)
 
 	if err := faultpoint.ConfigureFromEnv(os.Getenv("PINUM_FAULTPOINTS")); err != nil {
 		fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("pprof listener failed: %v", err)
+			}
+		}()
 	}
 
 	loader := func() (*serve.Environment, error) {
@@ -207,6 +252,8 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		StrictHealth:   *strictHealth,
 		Logf:           log.Printf,
+		Logger:         logger,
+		SlowRequest:    *slowRequest,
 	}
 	if *tenantsPath != "" {
 		cfg.Tenants = tenantCfgs
@@ -270,7 +317,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("serving /whatif /recommend /explain /reload /healthz /readyz /statz on %s", *addr)
+	log.Printf("serving /whatif /recommend /explain /reload /healthz /readyz /statz /metrics /eventz on %s", *addr)
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
@@ -482,6 +529,15 @@ func compareJSON(what, servedPath string, want any) error {
 	}
 	fmt.Printf("verify %s: %s matches the in-process result (%d bytes)\n", what, servedPath, len(expect))
 	return nil
+}
+
+// slogWriter adapts the stdlib log package to a structured handler: one
+// Write is one log line, re-emitted as an Info record.
+type slogWriter struct{ l *slog.Logger }
+
+func (w slogWriter) Write(p []byte) (int, error) {
+	w.l.Info(strings.TrimSuffix(string(p), "\n"))
+	return len(p), nil
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/pinumdb/pinum/internal/catalog"
 	"github.com/pinumdb/pinum/internal/inum"
@@ -35,6 +36,16 @@ func Fan(n, workers int, newWorker func() func(i int)) {
 // returned error is non-nil: indexes past the cancellation point were
 // never evaluated.
 func FanCtx(ctx context.Context, n, workers int, newWorker func() func(i int)) error {
+	return FanCtxObserved(ctx, n, workers, newWorker, nil)
+}
+
+// FanCtxObserved is FanCtx with per-job timing: when observe is non-nil,
+// every completed job reports (index, start, duration) from its worker
+// goroutine — the hook the serving layer uses to attach per-query spans
+// to a request trace. observe must be safe for concurrent calls; a nil
+// observe takes the exact FanCtx dispatch path with no timestamp reads,
+// so untraced requests pay nothing.
+func FanCtxObserved(ctx context.Context, n, workers int, newWorker func() func(i int), observe func(i int, start time.Time, d time.Duration)) error {
 	if n == 0 {
 		return ctx.Err()
 	}
@@ -51,8 +62,16 @@ func FanCtx(ctx context.Context, n, workers int, newWorker func() func(i int)) e
 		go func() {
 			defer wg.Done()
 			job := newWorker()
+			if observe == nil {
+				for i := range jobs {
+					job(i)
+				}
+				return
+			}
 			for i := range jobs {
+				start := time.Now()
 				job(i)
+				observe(i, start, time.Since(start))
 			}
 		}()
 	}

@@ -10,14 +10,17 @@ import (
 // bit for bit: the two planners and their equivalence contract
 // (optimizer), the cached cost model (inum), the incremental pricing
 // engine (costmatrix), and the byte-deterministic snapshot codec
-// (plancache). A nondeterministic map iteration in any of them can change
-// plan tie-breaks, cost accumulation order, or encoded bytes between two
-// runs on identical input.
+// (plancache), and the metrics registry whose /metrics exposition must
+// scrape byte-identically for the golden test and CI greps (obs). A
+// nondeterministic map iteration in any of them can change plan
+// tie-breaks, cost accumulation order, or encoded bytes between two runs
+// on identical input.
 var resultAffectingPkgs = []string{
 	"internal/optimizer",
 	"internal/inum",
 	"internal/costmatrix",
 	"internal/plancache",
+	"internal/obs",
 }
 
 // Determinism flags the three common sources of run-to-run divergence in

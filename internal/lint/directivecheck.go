@@ -15,13 +15,16 @@ func runDirectiveCheck(pass *Pass) error {
 	for _, d := range pass.Directives.All() {
 		needsArg, known := KnownDirectives[d.Name]
 		if !known {
-			pass.Reportf(d.Pos, "unknown directive //pinum:%s (known: alloc-ok, atomic-only, costarith-ok, hotpath, nondeterministic-ok, sealed-ok)", d.Name)
+			pass.Reportf(d.Pos, "unknown directive //pinum:%s (known: alloc-ok, allocfree, atomic-only, costarith-ok, hotpath, nondeterministic-ok, sealed-ok)", d.Name)
 			continue
 		}
 		if needsArg && d.Arg == "" {
-			if d.Name == DirAtomicOnly {
+			switch d.Name {
+			case DirAtomicOnly:
 				pass.Reportf(d.Pos, "//pinum:%s requires the comma-separated list of accessor functions allowed to touch the field", d.Name)
-			} else {
+			case DirAllocFree:
+				pass.Reportf(d.Pos, "//pinum:%s requires the name of the AllocsPerRun test pinning the claim", d.Name)
+			default:
 				pass.Reportf(d.Pos, "//pinum:%s requires a justification: say why the invariant holds at this site", d.Name)
 			}
 		}

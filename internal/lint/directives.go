@@ -33,6 +33,7 @@ const (
 	DirHotpath            = "hotpath"             // mark a hot function
 	DirAllocOK            = "alloc-ok"            // suppress hotpath
 	DirAtomicOnly         = "atomic-only"         // restrict a swapped field to named accessors
+	DirAllocFree          = "allocfree"           // mark a function claimed allocation-free; hotpath-checked, pin test required
 )
 
 // KnownDirectives maps every valid directive name to whether it is a
@@ -44,6 +45,7 @@ var KnownDirectives = map[string]bool{
 	DirHotpath:            false,
 	DirAllocOK:            true,
 	DirAtomicOnly:         true, // the argument is the accessor allowlist
+	DirAllocFree:          true, // the argument names the AllocsPerRun test pinning the claim
 }
 
 // Directives indexes every //pinum: comment of a package by file.

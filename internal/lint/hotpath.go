@@ -20,13 +20,15 @@ import (
 //     allocates; non-capturing literals compile to static funcs);
 //   - string concatenation.
 //
-// A justified exception carries //pinum:alloc-ok.
+// Functions marked //pinum:allocfree — a stronger claim: zero allocs,
+// pinned by the AllocsPerRun test the directive names — get the same
+// checks. A justified exception carries //pinum:alloc-ok.
 var Hotpath = &Analyzer{
 	Name:     "hotpath",
 	Suppress: DirAllocOK,
 	Doc: "flag allocation patterns (fmt calls, unhinted append growth, capturing closures, " +
-		"string concatenation) in functions marked //pinum:hotpath; justified sites " +
-		"carry //pinum:alloc-ok <why>",
+		"string concatenation) in functions marked //pinum:hotpath or //pinum:allocfree; " +
+		"justified sites carry //pinum:alloc-ok <why>",
 	Run: runHotpath,
 }
 
@@ -37,7 +39,8 @@ func runHotpath(pass *Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if !pass.Directives.FuncHas(pass.Fset, fn, DirHotpath) {
+			if !pass.Directives.FuncHas(pass.Fset, fn, DirHotpath) &&
+				!pass.Directives.FuncHas(pass.Fset, fn, DirAllocFree) {
 				continue
 			}
 			checkHotFunc(pass, fn)

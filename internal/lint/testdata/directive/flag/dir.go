@@ -7,3 +7,6 @@ var a = 1
 
 /* want "requires a justification" */ //pinum:sealed-ok
 var b = 2
+
+/* want "requires the name of the AllocsPerRun test" */ //pinum:allocfree
+var c = 3

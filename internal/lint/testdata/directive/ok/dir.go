@@ -13,3 +13,6 @@ func collect(m map[string]bool) []string {
 	}
 	return out
 }
+
+//pinum:allocfree fixture: pinned by TestPinnedAllocFree
+func pinned(n int) int { return n + 1 }

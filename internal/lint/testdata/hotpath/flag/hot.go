@@ -33,3 +33,11 @@ func total(xs []float64) float64 {
 	add()
 	return sum
 }
+
+// allocfree is the stronger claim: same checks as hotpath, so an fmt
+// call inside one is a lie the analyzer catches.
+//
+//pinum:allocfree fixture: pinned by TestLeakyAllocFree
+func leaky(id int) {
+	fmt.Println(id) // want "fmt.Println"
+}

@@ -34,6 +34,13 @@ func checked(n int) (int, error) {
 // cold is unannotated: fmt is fine off the hot path.
 func cold(n int) string { return fmt.Sprintf("#%d", n) }
 
+//pinum:allocfree fixture: pinned by TestRecordAllocFree
+func record(counts []int, i int) {
+	if i >= 0 && i < len(counts) {
+		counts[i]++
+	}
+}
+
 //pinum:hotpath
 func annotatedClosure(xs []int) int {
 	n := 0

@@ -1,0 +1,84 @@
+package obs
+
+// Operational event log: a fixed-size ring of lifecycle events (reloads,
+// evictions, cold loads, degradations, panics, slow requests) that the
+// serving layer exposes at /eventz. The point is a bounded flight
+// recorder — "what happened around the time it broke" — not durable
+// audit storage: when the ring wraps, the oldest events fall off.
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultEventLogSize is the ring capacity when none is configured.
+const DefaultEventLogSize = 256
+
+// Event is one operational occurrence. Seq is a process-lifetime
+// sequence number (assigned by Record); Time is stamped at Record unless
+// preset.
+type Event struct {
+	Seq     int64     `json:"seq"`
+	Time    time.Time `json:"time"`
+	Type    string    `json:"type"`
+	Tenant  string    `json:"tenant,omitempty"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// EventLog is a mutex-guarded fixed-size event ring. Recording is cheap
+// (one lock, one slot write) but not allocation-free — events are rare
+// by construction (reloads, evictions, failures), never per-request.
+type EventLog struct {
+	mu  sync.Mutex
+	buf []Event
+	seq int64 // total events ever recorded
+}
+
+// NewEventLog builds a ring holding the last size events (size <= 0
+// means DefaultEventLogSize).
+func NewEventLog(size int) *EventLog {
+	if size <= 0 {
+		size = DefaultEventLogSize
+	}
+	return &EventLog{buf: make([]Event, size)}
+}
+
+// Record stamps and stores one event, returning its sequence number.
+func (l *EventLog) Record(e Event) int64 {
+	if e.Time.IsZero() {
+		//pinum:nondeterministic-ok operational event timestamps are wall-clock by design
+		e.Time = time.Now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	l.buf[(l.seq-1)%int64(len(l.buf))] = e
+	return l.seq
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := int64(len(l.buf))
+	if l.seq < n {
+		n = l.seq
+	}
+	out := make([]Event, 0, n)
+	for i := l.seq - n; i < l.seq; i++ {
+		out = append(out, l.buf[i%int64(len(l.buf))])
+	}
+	return out
+}
+
+// Total reports how many events were ever recorded (retained or not).
+func (l *EventLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Cap reports the ring capacity.
+func (l *EventLog) Cap() int { return len(l.buf) }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEventLogRing pins the flight-recorder semantics: sequence numbers
+// are process-lifetime, the ring retains the newest size events oldest
+// first, and Total keeps counting past the wrap.
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(4)
+	if l.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", l.Cap())
+	}
+	for i := 1; i <= 10; i++ {
+		seq := l.Record(Event{Type: "reload", Tenant: "acme"})
+		if seq != int64(i) {
+			t.Fatalf("Record %d returned seq %d", i, seq)
+		}
+	}
+	if l.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", l.Total())
+	}
+	events := l.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := int64(7 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (oldest first)", i, e.Seq, want)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+}
+
+// TestEventLogUnderfilled pins the pre-wrap shape: fewer events than
+// capacity come back exactly, in order.
+func TestEventLogUnderfilled(t *testing.T) {
+	l := NewEventLog(0) // default capacity
+	if l.Cap() != DefaultEventLogSize {
+		t.Fatalf("default Cap = %d, want %d", l.Cap(), DefaultEventLogSize)
+	}
+	preset := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	l.Record(Event{Type: "cold-load", Time: preset})
+	l.Record(Event{Type: "eviction", TraceID: "op-1"})
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("retained %d events, want 2", len(events))
+	}
+	if events[0].Type != "cold-load" || !events[0].Time.Equal(preset) {
+		t.Fatalf("preset timestamp not preserved: %+v", events[0])
+	}
+	if events[1].Type != "eviction" || events[1].TraceID != "op-1" {
+		t.Fatalf("event fields lost: %+v", events[1])
+	}
+}
+
+// TestEventLogConcurrent pins recording safety under contention; run
+// under -race.
+func TestEventLogConcurrent(t *testing.T) {
+	l := NewEventLog(32)
+	var wg sync.WaitGroup
+	const n = 100
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Record(Event{Type: "slow-request"})
+		}()
+	}
+	wg.Wait()
+	if l.Total() != n {
+		t.Fatalf("Total = %d, want %d", l.Total(), n)
+	}
+	events := l.Events()
+	if len(events) != 32 {
+		t.Fatalf("retained %d, want 32", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("retained sequence not contiguous: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+}

@@ -58,7 +58,7 @@ func TestMaxBodyBytes(t *testing.T) {
 			t.Fatalf("%s oversized body: %d %s, want 413 naming the limit", path, code, body)
 		}
 	}
-	if got := srv.oversized.Load(); got != 3 {
+	if got := srv.oversized.Value(); got != 3 {
 		t.Fatalf("oversized counter = %d, want 3", got)
 	}
 	if code, body := rawPost(t, ts.URL+"/whatif", []byte(`{"indexes":[]}`)); code != http.StatusOK {

@@ -289,14 +289,18 @@ func (s *Server) ReloadTenant(name string, force bool) (ReloadOutcome, error) {
 // snapshot and per-query reuse, re-optimizing everything).
 func (t *tenant) reloadNow(force bool) (ReloadOutcome, error) {
 	s := t.srv
+	opID := s.nextTraceID()
 	t.reloadMu.Lock()
 	defer t.reloadMu.Unlock()
 	set, skipped, err := t.buildSetContained(force)
 	if err != nil {
-		t.reloadsFailed.Add(1)
-		t.degraded.Store(true)
+		t.reloadsFailed.Inc()
+		if !t.degraded.Swap(true) {
+			s.recordEvent("degraded", t.name, opID, err.Error())
+		}
 		t.lastReloadErr.Store(err.Error())
 		t.scheduleRetry()
+		s.recordEvent("reload-failed", t.name, opID, err.Error())
 		s.logf("tenant %s: reload failed (previous snapshot keeps serving): %v", t.name, err)
 		return ReloadOutcome{Tenant: t.name, Result: "failed"}, err
 	}
@@ -304,8 +308,10 @@ func (t *tenant) reloadNow(force bool) (ReloadOutcome, error) {
 	t.lastReloadErr.Store("")
 	t.clearRetry()
 	if skipped {
-		t.reloadsSkipped.Add(1)
+		t.reloadsSkipped.Inc()
 		cur := t.current()
+		s.recordEvent("reload-skipped", t.name, opID,
+			fmt.Sprintf("fingerprint %016x unchanged", cur.fingerprint))
 		s.logf("tenant %s: reload skipped: fingerprint %016x unchanged", t.name, cur.fingerprint)
 		return ReloadOutcome{
 			Tenant:         t.name,
@@ -315,8 +321,11 @@ func (t *tenant) reloadNow(force bool) (ReloadOutcome, error) {
 		}, nil
 	}
 	t.publish(set)
-	t.reloadsOK.Add(1)
+	t.reloadsOK.Inc()
 	t.saveSnapshot(set)
+	s.recordEvent("reload", t.name, opID,
+		fmt.Sprintf("fingerprint=%016x source=%s reused=%d rebuilt=%d",
+			set.fingerprint, set.source, set.reused, set.rebuilt))
 	s.logf("tenant %s: reload swapped: fingerprint=%016x source=%s reused=%d rebuilt=%d",
 		t.name, set.fingerprint, set.source, set.reused, set.rebuilt)
 	return ReloadOutcome{
@@ -385,7 +394,8 @@ func (t *tenant) triggerReload(force bool) bool {
 func (t *tenant) buildSetContained(force bool) (set *snapshotSet, skipped bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			t.srv.panics.Add(1)
+			t.srv.panics.Inc()
+			t.srv.recordEvent("panic", t.name, "", fmt.Sprintf("snapshot rebuild: %v", p))
 			set, skipped, err = nil, false, fmt.Errorf("panic during snapshot rebuild: %v", p)
 		}
 	}()

@@ -239,7 +239,7 @@ func TestReloadUnderTraffic(t *testing.T) {
 		t.Fatalf("served response diverged from baseline during reloads:\n%s", body)
 	default:
 	}
-	if got := rf.srv.defaultTenant().reloadsOK.Load(); got != reloads+1 {
+	if got := rf.srv.defaultTenant().reloadsOK.Value(); got != reloads+1 {
 		t.Fatalf("completed reloads = %d, want %d", got, reloads+1)
 	}
 }
@@ -260,7 +260,7 @@ func TestReloadSkipsWhenUnchanged(t *testing.T) {
 	if out.Fingerprint != first.Fingerprint {
 		t.Fatalf("skip changed fingerprint: %s -> %s", first.Fingerprint, out.Fingerprint)
 	}
-	if got := rf.srv.defaultTenant().reloadsSkipped.Load(); got != 1 {
+	if got := rf.srv.defaultTenant().reloadsSkipped.Value(); got != 1 {
 		t.Fatalf("skipped counter = %d, want 1", got)
 	}
 }
@@ -425,7 +425,7 @@ func TestReloadPanicContained(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "panic during snapshot rebuild") {
 		t.Fatalf("panicking reload returned %v, want contained panic error", err)
 	}
-	if got := rf.srv.panics.Load(); got != 1 {
+	if got := rf.srv.panics.Value(); got != 1 {
 		t.Fatalf("panic counter = %d, want 1", got)
 	}
 	code, body := rf.do(t, http.MethodPost, "/whatif", whatIfProbe)
@@ -565,7 +565,7 @@ func TestAdmissionControl(t *testing.T) {
 	if code, _ = rf.do(t, http.MethodPost, "/whatif", whatIfProbe); code != http.StatusOK {
 		t.Fatalf("/whatif after release: %d, want 200", code)
 	}
-	if got := def.rejected.Load(); got != 1 {
+	if got := def.rejected.Value(); got != 1 {
 		t.Fatalf("rejected counter = %d, want 1", got)
 	}
 }
@@ -590,7 +590,6 @@ func TestRequestDeadline(t *testing.T) {
 func TestHandlerPanicIsContained(t *testing.T) {
 	rf := newReloadFixture(t, nil)
 	rf.load(t)
-	rf.srv.metrics["/boom"] = &endpointMetrics{}
 	rf.srv.mux.HandleFunc("/boom", rf.srv.instrument("/boom", http.MethodGet, true,
 		func(*http.Request) (any, error) { panic("kaboom") }))
 
@@ -598,7 +597,7 @@ func TestHandlerPanicIsContained(t *testing.T) {
 	if code != http.StatusInternalServerError || !strings.Contains(string(body), "internal panic") {
 		t.Fatalf("panicking handler: %d %s, want 500 with panic message", code, body)
 	}
-	if got := rf.srv.panics.Load(); got != 1 {
+	if got := rf.srv.panics.Value(); got != 1 {
 		t.Fatalf("panic counter = %d, want 1", got)
 	}
 	if code, _ = rf.do(t, http.MethodPost, "/whatif", whatIfProbe); code != http.StatusOK {

@@ -47,9 +47,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +61,7 @@ import (
 	"github.com/pinumdb/pinum/internal/catalog"
 	"github.com/pinumdb/pinum/internal/core"
 	"github.com/pinumdb/pinum/internal/inum"
+	"github.com/pinumdb/pinum/internal/obs"
 	"github.com/pinumdb/pinum/internal/optimizer"
 	"github.com/pinumdb/pinum/internal/plancache"
 	"github.com/pinumdb/pinum/internal/query"
@@ -83,7 +87,17 @@ const (
 	// DefaultMaxBodyBytes bounds one request body; oversized bodies are
 	// a counted 413, never an unbounded allocation.
 	DefaultMaxBodyBytes = 8 << 20
+	// DefaultSlowRequest is the slow-request threshold: a request slower
+	// than this is recorded in the operational event log.
+	DefaultSlowRequest = time.Second
 )
+
+// TraceHeader opts a request into tracing and supplies its trace ID;
+// the request body's `"trace": true` field is the in-band equivalent
+// (with a generated ID). Traced compute responses carry a "trace" block
+// of span timings; untraced responses are byte-identical to the
+// pre-tracing server.
+const TraceHeader = "X-Pinum-Trace"
 
 // Config assembles a server over one prepared workload — or several.
 //
@@ -153,6 +167,18 @@ type Config struct {
 	RetryMax time.Duration
 	// Logf, when set, receives one line per reload/load/evict outcome.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives one structured record per request and
+	// operational event, each carrying a trace ID (-log-format in
+	// pinum-serve). Independent of Logf so existing plain-text consumers
+	// keep their lines.
+	Logger *slog.Logger
+	// SlowRequest is the slow-request threshold: requests slower than
+	// this are recorded in the operational event log
+	// (0 = DefaultSlowRequest, negative = disabled).
+	SlowRequest time.Duration
+	// EventLogSize caps the operational event ring served at /eventz
+	// (0 = obs.DefaultEventLogSize).
+	EventLogSize int
 }
 
 // Server answers what-if, recommendation and explain questions over
@@ -181,21 +207,36 @@ type Server struct {
 	// on it.
 	everLoaded atomic.Bool
 
-	// Process-wide counters surfaced in /statz.
-	panics    atomic.Int64
-	oversized atomic.Int64
+	// Observability: the metrics registry behind /metrics, the
+	// operational event ring behind /eventz, per-endpoint handle cache,
+	// and pre-resolved process-wide counters. /statz derives every
+	// number it reports from the same registry handles, so the two
+	// exposition surfaces can never disagree.
+	reg       *obs.Registry
+	events    *obs.EventLog
+	logger    *slog.Logger
+	epMu      sync.Mutex
+	ep        map[string]*endpointObs
+	panics    *obs.Counter
+	oversized *obs.Counter
+	unmatched *obs.Counter
 
-	start   time.Time
-	metrics map[string]*endpointMetrics
-	mux     *http.ServeMux
+	// traceBase/traceSeq mint process-unique trace IDs without math/rand:
+	// the start time in base-36 plus a monotonic sequence.
+	traceBase string
+	traceSeq  atomic.Int64
+
+	start time.Time
+	mux   *http.ServeMux
 }
 
-// endpointMetrics are one endpoint's latency/throughput counters.
-type endpointMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	totalNs  atomic.Int64
-	maxNs    atomic.Int64
+// endpointObs are one endpoint's registry handles — requests, errors and
+// the latency histogram — resolved once at registration so request
+// recording is three lock-free atomic updates.
+type endpointObs struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
 }
 
 // New builds the server. In static mode (no Loader, no Tenants) the
@@ -221,12 +262,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryMax <= 0 {
 		cfg.RetryMax = DefaultRetryMax
 	}
+	if cfg.SlowRequest == 0 {
+		cfg.SlowRequest = DefaultSlowRequest
+	}
 	s := &Server{
 		cfg:     cfg,
 		tenants: make(map[string]*tenant),
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
+		reg:     obs.NewRegistry(),
+		events:  obs.NewEventLog(cfg.EventLogSize),
+		logger:  cfg.Logger,
+		ep:      make(map[string]*endpointObs),
 	}
+	s.traceBase = strconv.FormatInt(s.start.UnixNano(), 36)
+	s.registerProcessMetrics()
 
 	if len(cfg.Tenants) > 0 {
 		s.multi = true
@@ -275,15 +325,6 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
-	s.metrics = map[string]*endpointMetrics{
-		"/whatif":    {},
-		"/recommend": {},
-		"/explain":   {},
-		"/reload":    {},
-		"/healthz":   {},
-		"/readyz":    {},
-		"/statz":     {},
-	}
 	s.mux.HandleFunc("/whatif", s.instrument("/whatif", http.MethodPost, true, s.handleWhatIf))
 	s.mux.HandleFunc("/recommend", s.instrument("/recommend", http.MethodPost, true, s.handleRecommend))
 	s.mux.HandleFunc("/explain", s.instrument("/explain", http.MethodPost, true, s.handleExplain))
@@ -291,8 +332,65 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", http.MethodGet, false, s.handleHealth))
 	s.mux.HandleFunc("/readyz", s.instrument("/readyz", http.MethodGet, false, s.handleReady))
 	s.mux.HandleFunc("/statz", s.instrument("/statz", http.MethodGet, false, s.handleStatz))
+	s.mux.HandleFunc("/eventz", s.instrument("/eventz", http.MethodGet, false, s.handleEventz))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/", s.handleUnmatched)
 	return s, nil
 }
+
+// registerProcessMetrics resolves the process-wide counter handles and
+// installs the runtime gauges: goroutine count live, heap/GC numbers
+// refreshed by one ReadMemStats per scrape.
+func (s *Server) registerProcessMetrics() {
+	s.panics = s.reg.Counter("pinum_panics_total",
+		"Recovered panics across request handlers and snapshot rebuilds.")
+	s.oversized = s.reg.Counter("pinum_ingress_oversized_total",
+		"Request bodies refused with 413 for exceeding the body-size cap.")
+	s.unmatched = s.reg.Counter("pinum_http_unmatched_total",
+		"Requests for unregistered paths answered 404.")
+	s.reg.GaugeFunc("pinum_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc("pinum_goroutines",
+		"Live goroutines in the serving process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	heap := s.reg.Gauge("pinum_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	gcPause := s.reg.Gauge("pinum_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause seconds.")
+	gcCycles := s.reg.Gauge("pinum_gc_cycles_total",
+		"Completed GC cycles.")
+	s.reg.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(float64(ms.HeapAlloc))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcCycles.Set(float64(ms.NumGC))
+	})
+}
+
+// epFor resolves (registering on first use) one endpoint's handles.
+func (s *Server) epFor(name string) *endpointObs {
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	m := s.ep[name]
+	if m == nil {
+		m = &endpointObs{
+			requests: s.reg.Counter("pinum_http_requests_total",
+				"HTTP requests received, by endpoint.", obs.L("endpoint", name)),
+			errors: s.reg.Counter("pinum_http_request_errors_total",
+				"HTTP requests answered with an error status, by endpoint.", obs.L("endpoint", name)),
+			latency: s.reg.Histogram("pinum_http_request_duration_seconds",
+				"HTTP request latency in seconds, by endpoint.", obs.L("endpoint", name)),
+		}
+		s.ep[name] = m
+	}
+	return m
+}
+
+// Registry exposes the metrics registry (tests and embedders; the HTTP
+// surface is GET /metrics).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // newTenant builds one registry entry. maxInFlight 0 inherits the
 // server-wide cap; negative means unlimited.
@@ -310,6 +408,7 @@ func (s *Server) newTenant(name string, loader func() (*Environment, error), sna
 	if maxInFlight > 0 {
 		t.inflight = make(chan struct{}, maxInFlight)
 	}
+	s.registerTenantMetrics(t)
 	return t
 }
 
@@ -356,12 +455,19 @@ func errNotReady() error {
 // latency/throughput counters. compute marks the expensive endpoints
 // that sit behind deadlines and (inside computeOn, once the body names a
 // tenant) per-tenant admission control; health/metrics endpoints stay
-// exempt so a saturated server can still be observed.
+// exempt so a saturated server can still be observed. A request carrying
+// the X-Pinum-Trace header gets a trace attached to its context here, so
+// every downstream span lands on it.
 func (s *Server) instrument(name, method string, compute bool, fn func(*http.Request) (any, error)) http.HandlerFunc {
-	m := s.metrics[name]
+	m := s.epFor(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		m.requests.Add(1)
+		m.requests.Inc()
+		var tr *obs.Trace
+		if id := r.Header.Get(TraceHeader); id != "" {
+			tr = obs.NewTraceAt(id, start)
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		}
 		var (
 			resp any
 			err  error
@@ -377,43 +483,152 @@ func (s *Server) instrument(name, method string, compute bool, fn func(*http.Req
 			resp, err = s.contain(name, fn, r)
 		}
 		w.Header().Set("Content-Type", "application/json")
+		status := http.StatusOK
 		if err != nil {
-			m.errors.Add(1)
-			code := http.StatusInternalServerError
+			m.errors.Inc()
+			status = http.StatusInternalServerError
 			var he *httpError
 			if errors.As(err, &he) {
-				code = he.code
+				status = he.code
 			} else if errors.Is(err, context.DeadlineExceeded) {
-				code = http.StatusGatewayTimeout
+				status = http.StatusGatewayTimeout
 			}
-			w.WriteHeader(code)
+			w.WriteHeader(status)
 			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 		} else {
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			enc.Encode(resp)
 		}
-		ns := time.Since(start).Nanoseconds()
-		m.totalNs.Add(ns)
-		for {
-			cur := m.maxNs.Load()
-			if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
-				break
-			}
-		}
+		s.record(name, m, time.Since(start), status, tr)
+	}
+}
+
+// record is the per-request bookkeeping tail every endpoint funnels
+// through. With tracing off and no structured logger the whole call is
+// lock-free atomic updates — the serving hot path must not pay an
+// allocation for observability it didn't ask for.
+//
+//pinum:allocfree tracing/logging-off fast path; pinned by TestRequestRecordAllocFree and BenchmarkRequestRecord
+func (s *Server) record(name string, m *endpointObs, dur time.Duration, status int, tr *obs.Trace) {
+	m.latency.Observe(dur.Seconds())
+	if s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest {
+		s.recordSlow(name, dur, tr)
+	}
+	if s.logger != nil {
+		s.logRequest(name, status, dur, tr)
+	}
+}
+
+// recordSlow files one slow-request event; split from record so the fmt
+// work stays off the annotated fast path.
+func (s *Server) recordSlow(name string, dur time.Duration, tr *obs.Trace) {
+	s.recordEvent("slow-request", "", tr.ID(),
+		fmt.Sprintf("%s took %s (threshold %s)", name, dur.Round(time.Millisecond), s.cfg.SlowRequest))
+}
+
+// logRequest emits one structured record per request; requests that
+// arrived without a trace get an ID minted here so every line is
+// correlatable.
+func (s *Server) logRequest(name string, status int, dur time.Duration, tr *obs.Trace) {
+	id := tr.ID()
+	if id == "" {
+		id = s.nextTraceID()
+	}
+	level := slog.LevelInfo
+	if status >= http.StatusInternalServerError {
+		level = slog.LevelWarn
+	}
+	s.logger.LogAttrs(context.Background(), level, "request",
+		slog.String("endpoint", name),
+		slog.Int("status", status),
+		slog.Int64("dur_us", dur.Microseconds()),
+		slog.String("trace_id", id),
+	)
+}
+
+// nextTraceID mints a process-unique trace ID without math/rand (the
+// serving tree bans nondeterminism outside annotated sites): the server
+// start time in base-36 plus a monotonic sequence.
+func (s *Server) nextTraceID() string {
+	return s.traceBase + "-" + strconv.FormatInt(s.traceSeq.Add(1), 10)
+}
+
+// recordEvent files one operational event: the /eventz ring, the
+// per-type counter, and (when structured logging is on) one log line.
+func (s *Server) recordEvent(typ, tenantName, traceID, detail string) {
+	s.events.Record(obs.Event{Type: typ, Tenant: tenantName, TraceID: traceID, Detail: detail})
+	s.reg.Counter("pinum_events_total", "Operational events recorded, by type.", obs.L("type", typ)).Inc()
+	if s.logger != nil {
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "event",
+			slog.String("type", typ),
+			slog.String("tenant", tenantName),
+			slog.String("trace_id", traceID),
+			slog.String("detail", detail),
+		)
 	}
 }
 
 // contain runs one handler with panic recovery: a panicking handler
-// becomes a counted 500 and the next request proceeds normally.
+// becomes a counted 500 — and a recorded event — and the next request
+// proceeds normally.
 func (s *Server) contain(name string, fn func(*http.Request) (any, error), r *http.Request) (resp any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			s.panics.Add(1)
+			s.panics.Inc()
+			s.recordEvent("panic", "", obs.TraceFrom(r.Context()).ID(),
+				fmt.Sprintf("handler %s: %v", name, p))
 			err = fmt.Errorf("internal panic in %s handler: %v", name, p)
 		}
 	}()
 	return fn(r)
+}
+
+// handleMetrics serves the Prometheus text exposition. It bypasses
+// instrument's JSON rendering but shares the same per-endpoint handles,
+// so scrapes are themselves visible in the data they return.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.epFor("/metrics")
+	m.requests.Inc()
+	status := http.StatusOK
+	if r.Method != http.MethodGet {
+		m.errors.Inc()
+		status = http.StatusMethodNotAllowed
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]string{"error": "/metrics requires GET"})
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WriteText(w); err != nil {
+			m.errors.Inc()
+		}
+	}
+	s.record("/metrics", m, time.Since(start), status, nil)
+}
+
+// handleUnmatched is the mux catch-all: probes for paths this server
+// never registered are counted (pinum_http_unmatched_total, the /statz
+// "unmatched" key) instead of vanishing into a silent 404. No per-path
+// series is created — request paths are attacker-controlled and would
+// blow up metric cardinality.
+func (s *Server) handleUnmatched(w http.ResponseWriter, r *http.Request) {
+	s.unmatched.Inc()
+	if s.logger != nil {
+		s.logRequest(r.URL.Path, http.StatusNotFound, 0, nil)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusNotFound)
+	json.NewEncoder(w).Encode(map[string]string{"error": "no such endpoint: " + r.URL.Path})
+}
+
+// handleEventz serves the operational event ring, oldest first.
+func (s *Server) handleEventz(*http.Request) (any, error) {
+	return map[string]any{
+		"total":    s.events.Total(),
+		"capacity": s.events.Cap(),
+		"events":   s.events.Events(),
+	}, nil
 }
 
 // ----------------------------------------------------------- whatif ----
@@ -440,6 +655,9 @@ type WhatIfRequest struct {
 	Tenant  string           `json:"tenant,omitempty"`
 	Indexes []IndexSpec      `json:"indexes"`
 	Weights []WeightOverride `json:"weights,omitempty"`
+	// Trace opts this request into span tracing (the X-Pinum-Trace
+	// header is the out-of-band equivalent).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryCost is one query's answer.
@@ -451,10 +669,11 @@ type QueryCost struct {
 
 // WhatIfResponse reports per-query and weighted workload costs.
 type WhatIfResponse struct {
-	Total     float64     `json:"total"`
-	BaseTotal float64     `json:"base_total"`
-	Speedup   float64     `json:"speedup"`
-	Queries   []QueryCost `json:"queries"`
+	Total     float64        `json:"total"`
+	BaseTotal float64        `json:"base_total"`
+	Speedup   float64        `json:"speedup"`
+	Queries   []QueryCost    `json:"queries"`
+	Trace     *obs.TraceView `json:"trace,omitempty"`
 }
 
 // WhatIf prices the workload under the given configuration on the
@@ -486,11 +705,20 @@ func (s *Server) whatIfOn(ctx context.Context, set *snapshotSet, req *WhatIfRequ
 	n := len(set.caches)
 	costs := make([]float64, n)
 	errs := make([]error, n)
-	fanErr := core.FanCtx(ctx, n, s.cfg.Workers, func() func(int) {
+	tr := obs.TraceFrom(ctx)
+	var observe func(int, time.Time, time.Duration)
+	if tr != nil {
+		observe = func(i int, qs time.Time, d time.Duration) {
+			tr.Add("query:"+set.env.Queries[i].Name, qs, d)
+		}
+	}
+	ft := time.Now()
+	fanErr := core.FanCtxObserved(ctx, n, s.cfg.Workers, func() func(int) {
 		return func(i int) {
 			costs[i], _, errs[i] = set.caches[i].Cost(cfg)
 		}
-	})
+	}, observe)
+	tr.Add("fanout", ft, time.Since(ft))
 	if fanErr != nil {
 		return nil, fmt.Errorf("request abandoned: %w", fanErr)
 	}
@@ -520,13 +748,50 @@ func (s *Server) whatIfOn(ctx context.Context, set *snapshotSet, req *WhatIfRequ
 }
 
 func (s *Server) handleWhatIf(r *http.Request) (any, error) {
+	t0 := time.Now()
 	var req WhatIfRequest
 	if err := s.decodeBody(r, &req); err != nil {
 		return nil, err
 	}
-	return s.computeOn(r, req.Tenant, func(t *tenant, set *snapshotSet) (any, error) {
+	r, tr := s.ensureTrace(r, req.Trace, t0)
+	tr.Add("decode", t0, time.Since(t0))
+	resp, err := s.computeOn(r, req.Tenant, func(t *tenant, set *snapshotSet) (any, error) {
 		return s.whatIfOn(r.Context(), set, &req)
 	})
+	if err != nil {
+		return nil, err
+	}
+	wr := resp.(*WhatIfResponse)
+	wr.Trace = s.traceView(tr, wr)
+	return wr, nil
+}
+
+// ensureTrace returns the request's trace: the header-created one from
+// instrument when present, a fresh one when the body opted in, nil
+// otherwise. A body-created trace starts at entry (the decode start) so
+// span offsets stay non-negative.
+func (s *Server) ensureTrace(r *http.Request, optIn bool, entry time.Time) (*http.Request, *obs.Trace) {
+	tr := obs.TraceFrom(r.Context())
+	if tr == nil && optIn {
+		tr = obs.NewTraceAt(s.nextTraceID(), entry)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+	}
+	return r, tr
+}
+
+// traceView finishes a traced request: it measures one rendering pass
+// as the encode span (instrument's real encode happens after the
+// handler returns) and snapshots the span set. Returns nil — leaving
+// the response byte-identical to an untraced one — when tracing is off.
+func (s *Server) traceView(tr *obs.Trace, resp any) *obs.TraceView {
+	if tr == nil {
+		return nil
+	}
+	e0 := time.Now()
+	if _, err := EncodeJSON(resp); err == nil {
+		tr.Add("encode", e0, time.Since(e0))
+	}
+	return tr.View()
 }
 
 // -------------------------------------------------------- recommend ----
@@ -538,19 +803,22 @@ type RecommendRequest struct {
 	BudgetGB   float64          `json:"budget_gb"`
 	MaxIndexes int              `json:"max_indexes"`
 	Weights    []WeightOverride `json:"weights,omitempty"`
+	// Trace opts this request into span tracing; see WhatIfRequest.Trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // RecommendResponse reports the advisor's suggestion.
 type RecommendResponse struct {
-	Chosen     []string    `json:"chosen"`
-	TotalBytes int64       `json:"total_bytes"`
-	BaseCost   float64     `json:"base_cost"`
-	FinalCost  float64     `json:"final_cost"`
-	Speedup    float64     `json:"speedup"`
-	Rounds     int         `json:"rounds"`
-	Candidates int         `json:"candidates"`
-	Queries    []QueryCost `json:"queries"`
-	Engine     EngineStats `json:"engine"`
+	Chosen     []string       `json:"chosen"`
+	TotalBytes int64          `json:"total_bytes"`
+	BaseCost   float64        `json:"base_cost"`
+	FinalCost  float64        `json:"final_cost"`
+	Speedup    float64        `json:"speedup"`
+	Rounds     int            `json:"rounds"`
+	Candidates int            `json:"candidates"`
+	Queries    []QueryCost    `json:"queries"`
+	Engine     EngineStats    `json:"engine"`
+	Trace      *obs.TraceView `json:"trace,omitempty"`
 }
 
 // EngineStats mirrors the cost engine's work counters in the response.
@@ -598,7 +866,9 @@ func (s *Server) recommendOn(ctx context.Context, set *snapshotSet, req *Recomme
 	for _, ix := range set.candidates {
 		ad.AddCandidate(ix)
 	}
+	rt := time.Now()
 	res, err := ad.Run()
+	obs.TraceFrom(ctx).Add("advisor", rt, time.Since(rt))
 	if err != nil {
 		return nil, err
 	}
@@ -637,13 +907,22 @@ func RecommendResponseFrom(res *advisor.Result, queries []*query.Query) *Recomme
 }
 
 func (s *Server) handleRecommend(r *http.Request) (any, error) {
+	t0 := time.Now()
 	var req RecommendRequest
 	if err := s.decodeBody(r, &req); err != nil {
 		return nil, err
 	}
-	return s.computeOn(r, req.Tenant, func(t *tenant, set *snapshotSet) (any, error) {
+	r, tr := s.ensureTrace(r, req.Trace, t0)
+	tr.Add("decode", t0, time.Since(t0))
+	resp, err := s.computeOn(r, req.Tenant, func(t *tenant, set *snapshotSet) (any, error) {
 		return s.recommendOn(r.Context(), set, &req)
 	})
+	if err != nil {
+		return nil, err
+	}
+	rr := resp.(*RecommendResponse)
+	rr.Trace = s.traceView(tr, rr)
+	return rr, nil
 }
 
 // ---------------------------------------------------------- explain ----
@@ -654,6 +933,8 @@ type ExplainRequest struct {
 	Tenant  string      `json:"tenant,omitempty"`
 	SQL     string      `json:"sql"`
 	Indexes []IndexSpec `json:"indexes"`
+	// Trace opts this request into span tracing; see WhatIfRequest.Trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ExplainLeaf is one relation's access requirement in the chosen plan's
@@ -669,10 +950,11 @@ type ExplainLeaf struct {
 
 // ExplainResponse is the plan, its cost, and its decomposition.
 type ExplainResponse struct {
-	Cost     float64       `json:"cost"`
-	Internal float64       `json:"internal"`
-	Plan     string        `json:"plan"`
-	Leaves   []ExplainLeaf `json:"leaves"`
+	Cost     float64        `json:"cost"`
+	Internal float64        `json:"internal"`
+	Plan     string         `json:"plan"`
+	Leaves   []ExplainLeaf  `json:"leaves"`
+	Trace    *obs.TraceView `json:"trace,omitempty"`
 }
 
 // Explain runs one conventional optimizer call for an ad-hoc query — the
@@ -689,10 +971,10 @@ func (s *Server) Explain(req *ExplainRequest) (*ExplainResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	return explainOn(set, req)
+	return explainOn(context.Background(), set, req)
 }
 
-func explainOn(set *snapshotSet, req *ExplainRequest) (*ExplainResponse, error) {
+func explainOn(ctx context.Context, set *snapshotSet, req *ExplainRequest) (*ExplainResponse, error) {
 	if req.SQL == "" {
 		return nil, badRequest("sql is required")
 	}
@@ -712,7 +994,9 @@ func explainOn(set *snapshotSet, req *ExplainRequest) (*ExplainResponse, error) 
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
+	ot := time.Now()
 	res, err := optimizer.Optimize(a, cfg, optimizer.Options{EnableNestLoop: true})
+	obs.TraceFrom(ctx).Add("optimize", ot, time.Since(ot))
 	if err != nil {
 		return nil, err
 	}
@@ -740,13 +1024,22 @@ func explainOn(set *snapshotSet, req *ExplainRequest) (*ExplainResponse, error) 
 }
 
 func (s *Server) handleExplain(r *http.Request) (any, error) {
+	t0 := time.Now()
 	var req ExplainRequest
 	if err := s.decodeBody(r, &req); err != nil {
 		return nil, err
 	}
-	return s.computeOn(r, req.Tenant, func(t *tenant, set *snapshotSet) (any, error) {
-		return explainOn(set, &req)
+	r, tr := s.ensureTrace(r, req.Trace, t0)
+	tr.Add("decode", t0, time.Since(t0))
+	resp, err := s.computeOn(r, req.Tenant, func(t *tenant, set *snapshotSet) (any, error) {
+		return explainOn(r.Context(), set, &req)
 	})
+	if err != nil {
+		return nil, err
+	}
+	er := resp.(*ExplainResponse)
+	er.Trace = s.traceView(tr, er)
+	return er, nil
 }
 
 // ------------------------------------------------- health / metrics ----
@@ -882,9 +1175,11 @@ type ReloadStats struct {
 }
 
 // handleStatz reports process counters, per-endpoint latency stats and a
-// per-tenant section each. Single-tenant servers additionally keep every
-// pre-tenant top-level field (reloads, fingerprint, …) so existing
-// scrapers read them unchanged; ?tenant= narrows to one tenant.
+// per-tenant section each — every number re-derived from the same
+// registry handles /metrics scrapes, so the two surfaces cannot drift.
+// Single-tenant servers additionally keep every pre-tenant top-level
+// field (reloads, fingerprint, …) so existing scrapers read them
+// unchanged; ?tenant= narrows to one tenant.
 func (s *Server) handleStatz(r *http.Request) (any, error) {
 	if name := r.URL.Query().Get("tenant"); name != "" {
 		t, err := s.tenantByName(name)
@@ -893,22 +1188,25 @@ func (s *Server) handleStatz(r *http.Request) (any, error) {
 		}
 		return map[string]any{"tenant": t.name, "stats": t.stats()}, nil
 	}
-	eps := make(map[string]EndpointStats, len(s.metrics))
-	names := make([]string, 0, len(s.metrics))
-	for name := range s.metrics {
+	s.epMu.Lock()
+	handles := make(map[string]*endpointObs, len(s.ep))
+	names := make([]string, 0, len(s.ep))
+	for name, m := range s.ep {
 		names = append(names, name)
+		handles[name] = m
 	}
+	s.epMu.Unlock()
 	sort.Strings(names)
+	eps := make(map[string]EndpointStats, len(names))
 	for _, name := range names {
-		m := s.metrics[name]
-		n := m.requests.Load()
+		m := handles[name]
 		st := EndpointStats{
-			Requests: n,
-			Errors:   m.errors.Load(),
-			MaxMs:    float64(m.maxNs.Load()) / 1e6,
+			Requests: m.requests.Value(),
+			Errors:   m.errors.Value(),
+			MaxMs:    m.latency.Max() * 1e3,
 		}
-		if n > 0 {
-			st.AvgMs = float64(m.totalNs.Load()) / float64(n) / 1e6
+		if n := m.latency.Count(); n > 0 {
+			st.AvgMs = m.latency.Sum() / float64(n) * 1e3
 		}
 		eps[name] = st
 	}
@@ -916,15 +1214,16 @@ func (s *Server) handleStatz(r *http.Request) (any, error) {
 	tstats := make(map[string]TenantStats, len(s.tenants))
 	for _, name := range s.tenantNames {
 		t := s.tenants[name]
-		rejected += t.rejected.Load()
+		rejected += t.rejected.Value()
 		tstats[name] = t.stats()
 	}
 	out := map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"endpoints":      eps,
-		"panics":         s.panics.Load(),
+		"panics":         s.panics.Value(),
 		"rejected":       rejected,
-		"oversized":      s.oversized.Load(),
+		"oversized":      s.oversized.Value(),
+		"unmatched":      s.unmatched.Value(),
 		"tenants":        tstats,
 	}
 	if s.multi {
@@ -991,7 +1290,7 @@ func (s *Server) decodeBody(r *http.Request, v any) error {
 	if err := dec.Decode(v); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			s.oversized.Add(1)
+			s.oversized.Inc()
 			return &httpError{
 				code: http.StatusRequestEntityTooLarge,
 				err:  fmt.Errorf("request body exceeds %d bytes", mbe.Limit),
@@ -1002,7 +1301,7 @@ func (s *Server) decodeBody(r *http.Request, v any) error {
 	if _, err := dec.Token(); err != io.EOF {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			s.oversized.Add(1)
+			s.oversized.Inc()
 			return &httpError{
 				code: http.StatusRequestEntityTooLarge,
 				err:  fmt.Errorf("request body exceeds %d bytes", mbe.Limit),

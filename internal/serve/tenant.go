@@ -33,6 +33,8 @@ import (
 	"time"
 
 	"github.com/pinumdb/pinum/internal/faultpoint"
+	"github.com/pinumdb/pinum/internal/obs"
+	"github.com/pinumdb/pinum/internal/optimizer"
 )
 
 // TenantHeader is the HTTP header that routes a request to a tenant; the
@@ -98,18 +100,90 @@ type tenant struct {
 	// here; the residency sweep evicts the smallest value.
 	lastUsed atomic.Int64
 
-	// Counters surfaced in the tenant's /statz section.
-	reloadsOK      atomic.Int64
-	reloadsSkipped atomic.Int64
-	reloadsFailed  atomic.Int64
-	coldLoads      atomic.Int64
-	evictions      atomic.Int64
+	// Registry handles for the tenant's counters, resolved once in
+	// newTenant so request recording stays lock-free. /statz and /metrics
+	// read the same handles.
+	reloadsOK      *obs.Counter
+	reloadsSkipped *obs.Counter
+	reloadsFailed  *obs.Counter
+	coldLoads      *obs.Counter
+	evictions      *obs.Counter
+	rejected       *obs.Counter
+	requests       *obs.Counter
+	errors         *obs.Counter
 	degraded       atomic.Bool
 	lastReloadErr  atomic.Value // string
 	lastSaveErr    atomic.Value // string
-	rejected       atomic.Int64
-	requests       atomic.Int64
-	errors         atomic.Int64
+
+	// Snapshot-shape gauges, refreshed on every publish.
+	snapQueries    *obs.Gauge
+	snapReused     *obs.Gauge
+	snapRebuilt    *obs.Gauge
+	snapEntryBytes *obs.Gauge
+	snapEnumStates *obs.Gauge
+	snapFrInserts  *obs.Gauge
+	snapFrDrops    *obs.Gauge
+	snapFrEvict    *obs.Gauge
+}
+
+// registerTenantMetrics resolves one tenant's registry handles, all
+// labeled tenant=<name>, plus the live gauges derived from its state.
+func (s *Server) registerTenantMetrics(t *tenant) {
+	tl := obs.L("tenant", t.name)
+	t.requests = s.reg.Counter("pinum_tenant_requests_total",
+		"Compute requests routed to the tenant.", tl)
+	t.errors = s.reg.Counter("pinum_tenant_request_errors_total",
+		"Tenant compute requests that returned an error.", tl)
+	t.rejected = s.reg.Counter("pinum_tenant_rejected_total",
+		"Requests refused with 429 by the tenant's admission cap.", tl)
+	t.coldLoads = s.reg.Counter("pinum_tenant_cold_loads_total",
+		"Cold snapshot loads (first touch, or after eviction).", tl)
+	t.evictions = s.reg.Counter("pinum_tenant_evictions_total",
+		"LRU residency evictions.", tl)
+	const reloadHelp = "Reload outcomes, by result (completed, skipped, failed)."
+	t.reloadsOK = s.reg.Counter("pinum_tenant_reloads_total", reloadHelp, tl, obs.L("result", "completed"))
+	t.reloadsSkipped = s.reg.Counter("pinum_tenant_reloads_total", reloadHelp, tl, obs.L("result", "skipped"))
+	t.reloadsFailed = s.reg.Counter("pinum_tenant_reloads_total", reloadHelp, tl, obs.L("result", "failed"))
+	s.reg.GaugeFunc("pinum_tenant_degraded",
+		"1 while the tenant's last reload failed (the old set keeps serving).",
+		func() float64 {
+			if t.degraded.Load() {
+				return 1
+			}
+			return 0
+		}, tl)
+	s.reg.GaugeFunc("pinum_tenant_resident",
+		"1 while the tenant holds a live snapshot set.",
+		func() float64 {
+			if t.current() != nil {
+				return 1
+			}
+			return 0
+		}, tl)
+	s.reg.GaugeFunc("pinum_tenant_in_flight",
+		"Compute requests currently holding one of the tenant's admission slots.",
+		func() float64 {
+			if t.inflight == nil {
+				return 0
+			}
+			return float64(len(t.inflight))
+		}, tl)
+	t.snapQueries = s.reg.Gauge("pinum_snapshot_queries",
+		"Queries served by the tenant's live snapshot set.", tl)
+	t.snapReused = s.reg.Gauge("pinum_snapshot_queries_reused",
+		"Queries whose caches the last (re)load reused without planning.", tl)
+	t.snapRebuilt = s.reg.Gauge("pinum_snapshot_queries_rebuilt",
+		"Queries the last (re)load re-planned.", tl)
+	t.snapEntryBytes = s.reg.Gauge("pinum_snapshot_entry_bytes",
+		"Approximate bytes held by the live set's plan-cache entries.", tl)
+	t.snapEnumStates = s.reg.Gauge("pinum_planner_enum_states",
+		"Planner enumeration states visited building the live set (0 when loaded from disk).", tl)
+	t.snapFrInserts = s.reg.Gauge("pinum_planner_frontier_inserts",
+		"Dominance-frontier insertions building the live set.", tl)
+	t.snapFrDrops = s.reg.Gauge("pinum_planner_frontier_drops",
+		"Dominated plans dropped at insertion building the live set.", tl)
+	t.snapFrEvict = s.reg.Gauge("pinum_planner_frontier_evictions",
+		"Frontier entries evicted by dominance building the live set.", tl)
 }
 
 // current returns the tenant's live snapshot set (nil while cold). It is
@@ -125,9 +199,31 @@ func (t *tenant) swap(set *snapshotSet) { t.cur.Store(set) }
 // the registry can never lose track of a resident tenant.
 func (t *tenant) publish(set *snapshotSet) {
 	t.swap(set)
+	t.snapshotGauges(set)
 	t.srv.everLoaded.Store(true)
 	t.srv.touch(t)
 	t.srv.noteResident(t)
+}
+
+// snapshotGauges refreshes the tenant's snapshot-shape metrics from a
+// freshly published set: query counts, approximate entry bytes, and the
+// aggregated planner work counters its builds recorded (all zero for a
+// disk-loaded set, which did no planning).
+func (t *tenant) snapshotGauges(set *snapshotSet) {
+	var ps optimizer.PlannerStats
+	var entryBytes int64
+	for _, c := range set.caches {
+		ps.Add(c.Stats.Planner)
+		entryBytes += c.MemStats().TotalBytes()
+	}
+	t.snapQueries.Set(float64(len(set.env.Queries)))
+	t.snapReused.Set(float64(set.reused))
+	t.snapRebuilt.Set(float64(set.rebuilt))
+	t.snapEntryBytes.Set(float64(entryBytes))
+	t.snapEnumStates.Set(float64(ps.EnumStates))
+	t.snapFrInserts.Set(float64(ps.FrontierInserts))
+	t.snapFrDrops.Set(float64(ps.FrontierDrops))
+	t.snapFrEvict.Set(float64(ps.FrontierEvictions))
 }
 
 // admit takes an admission slot against this tenant's cap, or reports it
@@ -142,7 +238,7 @@ func (t *tenant) admit() error {
 	case t.inflight <- struct{}{}:
 		return nil
 	default:
-		t.rejected.Add(1)
+		t.rejected.Inc()
 		return &httpError{
 			code: http.StatusTooManyRequests,
 			err:  fmt.Errorf("tenant %q is at its in-flight request limit (%d); retry later", t.name, cap(t.inflight)),
@@ -250,20 +346,23 @@ func (s *Server) acquireSet(t *tenant) (*snapshotSet, error) {
 	if err := faultpoint.Hit("serve.tenant.load"); err != nil {
 		return nil, s.coldLoadFailed(t, err)
 	}
-	t.coldLoads.Add(1)
+	t.coldLoads.Inc()
 	set, _, err := t.buildSetContained(false)
 	if err != nil {
 		return nil, s.coldLoadFailed(t, err)
 	}
 	t.publish(set)
 	t.saveSnapshot(set)
+	s.recordEvent("cold-load", t.name, "",
+		fmt.Sprintf("fingerprint=%016x source=%s", set.fingerprint, set.source))
 	s.logf("tenant %s: cold load: fingerprint=%016x source=%s", t.name, set.fingerprint, set.source)
 	return set, nil
 }
 
 func (s *Server) coldLoadFailed(t *tenant, err error) error {
-	t.reloadsFailed.Add(1)
+	t.reloadsFailed.Inc()
 	t.lastReloadErr.Store(err.Error())
+	s.recordEvent("cold-load-failed", t.name, "", err.Error())
 	s.logf("tenant %s: cold load failed: %v", t.name, err)
 	return &httpError{
 		code: http.StatusServiceUnavailable,
@@ -329,7 +428,8 @@ func (s *Server) evictLocked(t *tenant) {
 	t.swap(nil)
 	t.clearRetry()
 	t.degraded.Store(false)
-	t.evictions.Add(1)
+	t.evictions.Inc()
+	s.recordEvent("eviction", t.name, "", fmt.Sprintf("LRU, resident cap %d", s.residentCap))
 	s.logf("tenant %s: evicted (LRU, resident cap %d)", t.name, s.residentCap)
 }
 
@@ -338,24 +438,29 @@ func (s *Server) evictLocked(t *tenant) {
 // the immutable set — which fn uses for its whole lifetime regardless of
 // concurrent swaps or evictions.
 func (s *Server) computeOn(r *http.Request, bodyTenant string, fn func(*tenant, *snapshotSet) (any, error)) (any, error) {
+	tr := obs.TraceFrom(r.Context())
+	rt := time.Now()
 	t, err := s.resolveTenant(r, bodyTenant)
+	tr.Add("route", rt, time.Since(rt))
 	if err != nil {
 		return nil, err
 	}
-	t.requests.Add(1)
+	t.requests.Inc()
 	if err := t.admit(); err != nil {
-		t.errors.Add(1)
+		t.errors.Inc()
 		return nil, err
 	}
 	defer t.release()
+	lt := time.Now()
 	set, err := s.acquireSet(t)
+	tr.Add("load", lt, time.Since(lt))
 	if err != nil {
-		t.errors.Add(1)
+		t.errors.Inc()
 		return nil, err
 	}
 	resp, err := fn(t, set)
 	if err != nil {
-		t.errors.Add(1)
+		t.errors.Inc()
 	}
 	return resp, err
 }
@@ -384,11 +489,11 @@ type TenantStats struct {
 func (t *tenant) stats() TenantStats {
 	ts := TenantStats{
 		Status:    t.statusWord(),
-		Requests:  t.requests.Load(),
-		Errors:    t.errors.Load(),
-		Rejected:  t.rejected.Load(),
-		ColdLoads: t.coldLoads.Load(),
-		Evictions: t.evictions.Load(),
+		Requests:  t.requests.Value(),
+		Errors:    t.errors.Value(),
+		Rejected:  t.rejected.Value(),
+		ColdLoads: t.coldLoads.Value(),
+		Evictions: t.evictions.Value(),
 		Reloads:   t.reloadStats(),
 	}
 	if t.inflight != nil {
@@ -410,9 +515,9 @@ func (t *tenant) stats() TenantStats {
 // reloadStats snapshots the tenant's reload state machine.
 func (t *tenant) reloadStats() ReloadStats {
 	rs := ReloadStats{
-		Completed:     t.reloadsOK.Load(),
-		Skipped:       t.reloadsSkipped.Load(),
-		Failed:        t.reloadsFailed.Load(),
+		Completed:     t.reloadsOK.Value(),
+		Skipped:       t.reloadsSkipped.Value(),
+		Failed:        t.reloadsFailed.Value(),
 		Degraded:      t.degraded.Load(),
 		LastError:     loadString(&t.lastReloadErr),
 		LastSaveError: loadString(&t.lastSaveErr),
